@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ablation (§6.2): segment-reorder segment size. The paper sets the
+ * segment to half the SWW ("which we find performs best"); this sweep
+ * regenerates that design-space cut for a traffic-sensitive and a
+ * depth-limited workload.
+ */
+#include <cstdio>
+#include <iostream>
+
+#include "harness.h"
+
+using namespace haac;
+using namespace haac::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts = parseArgs(argc, argv, "Ablation: segment size");
+
+    const HaacConfig cfg = defaultConfig();
+    const uint32_t half = cfg.windowHalf();
+
+    std::printf("== Ablation: segment size for segment reordering "
+                "(16 GEs, 2MB SWW, DDR4; %s scale) ==\n\n",
+                opts.paperScale ? "paper" : "default");
+
+    Report table({"Benchmark", "Segment", "Cycles", "LiveWires(k)",
+                  "OoRW(k)", "Slowdown vs SWW/2"});
+
+    for (const char *name : {"MatMult", "BubbSt", "DotProd"}) {
+        if (!opts.only.empty() && opts.only != name)
+            continue;
+        Workload wl = vipWorkload(name, opts.paperScale);
+        double ref_cycles = 0;
+        const std::pair<const char *, uint32_t> sweeps[] = {
+            {"SWW/2", half},      {"SWW/8", half / 4},
+            {"SWW/4", half / 2},  {"SWW", half * 2},
+            {"2xSWW", half * 4},
+        };
+        for (const auto &[label, seg] : sweeps) {
+            CompileOptions copts;
+            copts.reorder = ReorderKind::Segment;
+            copts.segmentSize = seg;
+            RunResult run = runPipeline(wl, cfg, copts);
+            if (seg == half)
+                ref_cycles = double(run.stats.cycles);
+            table.addRow(
+                {name, label, std::to_string(run.stats.cycles),
+                 fmtKilo(double(run.compile.liveWires)),
+                 fmtKilo(double(run.compile.oorReads)),
+                 fmt(double(run.stats.cycles) / ref_cycles, 3)});
+        }
+    }
+    table.print(std::cout);
+    std::printf("\nPaper: segment = SWW/2 performs best — it matches "
+                "the window's slide granularity, so reordering never "
+                "breaks the locality the SWW can capture.\n");
+    return 0;
+}

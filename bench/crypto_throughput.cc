@@ -1,0 +1,151 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the crypto substrate, including
+ * the paper's §2.1 ablation: re-keying vs fixed-key Half-Gate cost
+ * (the paper measures re-keying as +27.5%).
+ */
+#include <benchmark/benchmark.h>
+
+#include "crypto/aes128.h"
+#include "crypto/hash.h"
+#include "crypto/prg.h"
+#include "gc/evaluator.h"
+#include "gc/garbler.h"
+
+namespace haac {
+namespace {
+
+Label
+someLabel(uint64_t salt)
+{
+    return Label(0x123456789abcdefull ^ salt, 0xfedcba987654321ull);
+}
+
+void
+BM_Aes128KeyExpansion(benchmark::State &state)
+{
+    Label key = someLabel(1);
+    for (auto _ : state) {
+        Aes128 aes(key);
+        benchmark::DoNotOptimize(aes.roundKeys());
+    }
+}
+BENCHMARK(BM_Aes128KeyExpansion);
+
+void
+BM_Aes128EncryptBlock(benchmark::State &state)
+{
+    Aes128 aes(someLabel(2));
+    Label x = someLabel(3);
+    for (auto _ : state) {
+        x = aes.encryptBlock(x);
+        benchmark::DoNotOptimize(x);
+    }
+}
+BENCHMARK(BM_Aes128EncryptBlock);
+
+void
+BM_HashRekeyed(benchmark::State &state)
+{
+    Label x = someLabel(4);
+    uint64_t tweak = 0;
+    for (auto _ : state) {
+        x = hashRekeyed(x, tweak++);
+        benchmark::DoNotOptimize(x);
+    }
+}
+BENCHMARK(BM_HashRekeyed);
+
+void
+BM_HashFixedKey(benchmark::State &state)
+{
+    FixedKeyHasher h;
+    Label x = someLabel(5);
+    uint64_t tweak = 0;
+    for (auto _ : state) {
+        x = h(x, tweak++);
+        benchmark::DoNotOptimize(x);
+    }
+}
+BENCHMARK(BM_HashFixedKey);
+
+/** Garbler AND cost with re-keying (2 expansions + 4 AES). */
+void
+BM_GarbleAndRekeyed(benchmark::State &state)
+{
+    Prg prg(1);
+    Label r = prg.nextLabel();
+    r.setLsb(true);
+    Label a0 = prg.nextLabel(), b0 = prg.nextLabel();
+    uint64_t gate = 0;
+    for (auto _ : state) {
+        HalfGateGarbled hg = garbleAnd(a0, b0, r, gate++);
+        a0 = hg.outZero;
+        benchmark::DoNotOptimize(hg);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_GarbleAndRekeyed);
+
+/** The paper's fixed-key baseline: should be ~27.5% cheaper. */
+void
+BM_GarbleAndFixedKey(benchmark::State &state)
+{
+    Prg prg(1);
+    Label r = prg.nextLabel();
+    r.setLsb(true);
+    Label a0 = prg.nextLabel(), b0 = prg.nextLabel();
+    FixedKeyHasher h;
+    uint64_t gate = 0;
+    for (auto _ : state) {
+        HalfGateGarbled hg = garbleAndFixedKey(h, a0, b0, r, gate++);
+        a0 = hg.outZero;
+        benchmark::DoNotOptimize(hg);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_GarbleAndFixedKey);
+
+void
+BM_EvaluateAndRekeyed(benchmark::State &state)
+{
+    Prg prg(2);
+    Label r = prg.nextLabel();
+    r.setLsb(true);
+    Label a0 = prg.nextLabel(), b0 = prg.nextLabel();
+    HalfGateGarbled hg = garbleAnd(a0, b0, r, 0);
+    Label la = a0, lb = b0;
+    uint64_t gate = 0;
+    for (auto _ : state) {
+        la = evaluateAnd(la, lb, hg.table, gate++ % 64);
+        benchmark::DoNotOptimize(la);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_EvaluateAndRekeyed);
+
+void
+BM_FreeXor(benchmark::State &state)
+{
+    Label a = someLabel(6), b = someLabel(7);
+    for (auto _ : state) {
+        a ^= b;
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_FreeXor);
+
+void
+BM_PrgNextLabel(benchmark::State &state)
+{
+    Prg prg(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(prg.nextLabel());
+    }
+}
+BENCHMARK(BM_PrgNextLabel);
+
+} // namespace
+} // namespace haac
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reproduces Figure 10: slowdown of secure execution relative to
+ * native plaintext (= 1): CPU-run GC, HAAC with DDR4, and HAAC with
+ * HBM2, under the best reordering per benchmark.
+ */
+#include <cstdio>
+#include <iostream>
+
+#include "harness.h"
+
+using namespace haac;
+using namespace haac::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts = parseArgs(argc, argv,
+                             "Figure 10: slowdown vs plaintext");
+
+    std::printf("== Figure 10: slowdown vs plaintext (16 GEs, 2MB SWW, "
+                "best reordering; %s scale) ==\n\n",
+                opts.paperScale ? "paper" : "default");
+
+    Report table({"Benchmark", "CPU GC", "HAAC DDR4", "HAAC HBM2",
+                  "DDR4 speedup over CPU GC"});
+    std::vector<double> cpu_slow, ddr_slow, hbm_slow, ddr_speedup;
+    std::vector<double> hbm_int;
+
+    for (const char *name : {"BubbSt", "DotProd", "Merse", "Triangle",
+                             "Hamm", "MatMult", "ReLU", "GradDesc"}) {
+        if (!opts.only.empty() && opts.only != name)
+            continue;
+        Workload wl = vipWorkload(name, opts.paperScale);
+        const double plain = plaintextSeconds(wl);
+        const double cpu = measuredCpuSeconds(wl);
+
+        HaacConfig ddr = defaultConfig();
+        HaacConfig hbm = ddr;
+        hbm.dram = DramKind::Hbm2;
+        const double t_ddr = runBestReorder(wl, ddr).stats.seconds();
+        const double t_hbm = runBestReorder(wl, hbm).stats.seconds();
+
+        cpu_slow.push_back(cpu / plain);
+        ddr_slow.push_back(t_ddr / plain);
+        hbm_slow.push_back(t_hbm / plain);
+        ddr_speedup.push_back(cpu / t_ddr);
+        if (std::string(name) != "GradDesc")
+            hbm_int.push_back(t_hbm / plain);
+
+        table.addRow({name, fmt(cpu / plain, 0), fmt(t_ddr / plain, 1),
+                      fmt(t_hbm / plain, 1), fmt(cpu / t_ddr, 1)});
+    }
+    table.print(std::cout);
+
+    std::printf("\nGeomeans: CPU GC %.0fx, HAAC DDR4 %.1fx, HAAC HBM2 "
+                "%.1fx slower than plaintext; integer-only HBM2 "
+                "%.1fx; DDR4 speedup over CPU GC %.0fx\n",
+                geomean(cpu_slow), geomean(ddr_slow),
+                geomean(hbm_slow), geomean(hbm_int),
+                geomean(ddr_speedup));
+    std::printf("Paper anchors: CPU GC ~198,000x slower than "
+                "plaintext; HAAC DDR4 589x faster than CPU GC; HBM2 "
+                "slowdown vs plaintext geomean 76x (23x integer-only; "
+                "GradDesc is the float outlier).\n");
+    std::printf("Host note: our software GC lacks AES-NI, so the "
+                "CPU-GC column is larger than the paper's; HAAC "
+                "columns are host-independent (cycle model).\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reproduces Figure 9: per-component energy breakdown (Half-Gate,
+ * crossbar, SRAM, others, HBM2 PHY) for each fully-reordered benchmark
+ * and the energy-efficiency improvement over the CPU (in K-times).
+ */
+#include <cstdio>
+#include <iostream>
+
+#include "harness.h"
+#include "platform/energy_model.h"
+
+using namespace haac;
+using namespace haac::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts = parseArgs(argc, argv, "Figure 9: energy breakdown");
+
+    std::printf("== Figure 9: normalized energy by component (full "
+                "reorder, 16 GEs, 2MB SWW, HBM2; %s scale) ==\n\n",
+                opts.paperScale ? "paper" : "default");
+
+    Report table({"Benchmark", "HalfGate%", "Crossbar%", "SRAM%",
+                  "Others%", "HBM2 PHY%", "Eff vs CPU (Kx)",
+                  "paper(Kx)"});
+    std::vector<double> hg_pct;
+
+    for (const auto &[name, paper_k] : paperFig9EfficiencyK()) {
+        if (!opts.only.empty() && opts.only != name)
+            continue;
+        Workload wl = vipWorkload(name, opts.paperScale);
+
+        HaacConfig cfg = defaultConfig();
+        cfg.dram = DramKind::Hbm2;
+        CompileOptions copts;
+        copts.reorder = ReorderKind::Full;
+        RunResult run = runPipeline(wl, cfg, copts);
+
+        EnergyBreakdown e = modelEnergy(cfg, run.stats);
+        const double tot = e.totalJ();
+        const double cpu_j =
+            cpuEnergyJoules(measuredCpuSeconds(wl));
+        hg_pct.push_back(100 * e.halfGateJ / tot);
+
+        table.addRow({name, fmt(100 * e.halfGateJ / tot, 1),
+                      fmt(100 * e.crossbarJ / tot, 1),
+                      fmt(100 * e.sramJ / tot, 1),
+                      fmt(100 * e.othersJ / tot, 1),
+                      fmt(100 * e.hbm2PhyJ / tot, 1),
+                      fmt(cpu_j / tot / 1000.0, 1),
+                      fmt(paper_k, 0)});
+    }
+    table.print(std::cout);
+
+    double avg = 0;
+    for (double v : hg_pct)
+        avg += v;
+    avg /= hg_pct.empty() ? 1 : double(hg_pct.size());
+    std::printf("\nHalf-Gate average share: %.1f%% (paper: 61%%). "
+                "Paper: HAAC is on average 53,060x more energy "
+                "efficient than the 25W CPU.\n",
+                avg);
+    return 0;
+}

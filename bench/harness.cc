@@ -1,0 +1,166 @@
+#include "harness.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "gc/protocol.h"
+#include "platform/host_timer.h"
+
+namespace haac::bench {
+
+Options
+parseArgs(int argc, char **argv, const char *what)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--paper-scale") {
+            opts.paperScale = true;
+        } else if (arg.rfind("--only=", 0) == 0) {
+            opts.only = arg.substr(7);
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "%s\n\nflags:\n"
+                "  --paper-scale   use the paper's input sizes "
+                "(slower)\n"
+                "  --only=<name>   run a single Table 2 benchmark\n",
+                what);
+            std::exit(0);
+        } else if (arg.rfind("--benchmark", 0) == 0) {
+            // Tolerate google-benchmark flags when mixed binaries are
+            // looped over.
+        } else {
+            std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+            std::exit(2);
+        }
+    }
+    return opts;
+}
+
+HaacConfig
+defaultConfig()
+{
+    return HaacConfig{};
+}
+
+RunResult
+runPipeline(const Workload &wl, const HaacConfig &cfg,
+            CompileOptions copts, SimMode mode)
+{
+    copts.swwWires = cfg.swwWires();
+    RunResult res;
+    HaacProgram prog =
+        compileProgram(assemble(wl.netlist), copts, &res.compile);
+    StreamSet set = buildStreams(prog, cfg);
+    res.stats = runSimulation(prog, cfg, set, mode);
+    return res;
+}
+
+RunResult
+runBestReorder(const Workload &wl, const HaacConfig &cfg, bool esw)
+{
+    CompileOptions seg;
+    seg.reorder = ReorderKind::Segment;
+    seg.esw = esw;
+    CompileOptions full;
+    full.reorder = ReorderKind::Full;
+    full.esw = esw;
+    RunResult rs = runPipeline(wl, cfg, seg);
+    RunResult rf = runPipeline(wl, cfg, full);
+    return rf.stats.cycles <= rs.stats.cycles ? rf : rs;
+}
+
+double
+measuredCpuSeconds(const Workload &wl)
+{
+    return cpuBaseline().evaluateSeconds(wl.netlist.numGates());
+}
+
+double
+plaintextSeconds(const Workload &wl)
+{
+    return timeKernel(wl.plaintextKernel);
+}
+
+double
+geomean(const std::vector<double> &vals)
+{
+    if (vals.empty())
+        return 0;
+    double acc = 0;
+    for (double v : vals)
+        acc += std::log(v);
+    return std::exp(acc / double(vals.size()));
+}
+
+const std::vector<PaperTable2Row> &
+paperTable2()
+{
+    static const std::vector<PaperTable2Row> rows = {
+        {"BubbSt", 75636, 12542, 12534, 33.33, 166, 99.87},
+        {"DotProd", 277, 389, 381, 34.39, 1376, 86.43},
+        {"Merse", 1764, 1444, 1444, 27.15, 818, 98.49},
+        {"Triangle", 1403, 6984, 6979, 34.02, 4974, 56.76},
+        {"Hamm", 76, 410, 328, 25.00, 4311, 99.93},
+        {"MatMult", 157, 1519, 1515, 34.48, 9649, 82.16},
+        {"ReLU", 2, 133, 68, 96.97, 33792, 49.23},
+        {"GradDesc", 106314, 6344, 6343, 42.91, 60, 99.70},
+    };
+    return rows;
+}
+
+const std::vector<PaperTable3Row> &
+paperTable3()
+{
+    static const std::vector<PaperTable3Row> rows = {
+        {"MatMult", 6.01, 271, 495, 582, 501, 853},
+        {"DotProd", 5.59, 52.8, 91.5, 56.8, 97.1, 110},
+        {"Merse", 0.06, 21.8, 0.05, 29.4, 0.11, 51.2},
+        {"Triangle", 52.4, 3020, 2411, 5934, 2463, 8954},
+        {"ReLU", 67.5, 67.6, 2.11, 2.05, 69.6, 69.7},
+        {"BubbSt", 161, 16.6, 750, 37.2, 911, 53.8},
+        {"GradDesc", 17.3, 19.2, 392, 344, 409, 363},
+        {"Hamm", 0.75, 0.27, 1.22, 0.26, 1.97, 0.53},
+    };
+    return rows;
+}
+
+const std::vector<PaperTable5Row> &
+paperTable5()
+{
+    static const std::vector<PaperTable5Row> rows = {
+        {"MAXelerator", "5x5Matx-8", 15.0, 1.605, 9.35},
+        {"MAXelerator", "3x3Matx-16", 6.48, 1.673, 3.87},
+        {"FASE", "AES-128", 439, 3.607, 122},
+        {"FASE", "Mult-32", 52.5, 1.246, 42.1},
+        {"FASE", "Hamm-50", 3.35, 0.219, 15.3},
+        {"FASE", "Million-8", 1.30, 0.218, 5.94},
+        {"FASE", "5x5Matx-8", 438, 1.605, 273},
+        {"FASE", "3x3Matx-16", 378, 1.673, 226},
+        {"FPGA Overlay", "Add-6", 2.80, 0.136, 20.6},
+        {"FPGA Overlay", "Mult-32", 180, 1.246, 144},
+        {"FPGA Overlay", "Hamm-50", 14.0, 0.219, 63.9},
+        {"FPGA Overlay", "Million-2", 0.950, 0.062, 15.3},
+        {"Leeser [48]", "5x5Matx-8", 9.66e4, 1.605, 6.02e4},
+        {"Huang [31]", "Add-16", 253, 0.396, 639},
+        {"Huang [31]", "Mult-32", 2.38e4, 1.246, 1.91e4},
+        {"Huang [31]", "Hamm-50", 1.55e3, 0.219, 7.08e3},
+        {"Huang [31]", "5x5Matx-8", 1.84e5, 1.605, 1.15e5},
+    };
+    return rows;
+}
+
+const std::vector<std::pair<const char *, double>> &
+paperFig9EfficiencyK()
+{
+    static const std::vector<std::pair<const char *, double>> rows = {
+        {"BubbSt", 27},  {"DotProd", 32}, {"Merse", 113},
+        {"Triangle", 63}, {"Hamm", 104},  {"MatMult", 34},
+        {"ReLU", 181},   {"GradDesc", 16},
+    };
+    return rows;
+}
+
+} // namespace haac::bench

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Shared benchmark-harness utilities: flag parsing, the standard
+ * compile+simulate pipeline, CPU/plaintext baselines, and the paper's
+ * published reference numbers so every binary can print "ours vs
+ * paper" side by side.
+ */
+#ifndef HAAC_BENCH_HARNESS_H
+#define HAAC_BENCH_HARNESS_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/compiler/passes.h"
+#include "core/sim/engine.h"
+#include "platform/cpu_model.h"
+#include "platform/report.h"
+#include "workloads/vip.h"
+
+namespace haac::bench {
+
+struct Options
+{
+    bool paperScale = false;
+    /** Restrict to one workload by Table 2 name (empty = all). */
+    std::string only;
+};
+
+/** Parse --paper-scale / --only=<name>; exits on --help. */
+Options parseArgs(int argc, char **argv, const char *what);
+
+/** The paper's default accelerator (16 GEs, 2 MB SWW, DDR4, Eval). */
+HaacConfig defaultConfig();
+
+/** One compiled+simulated configuration of a workload. */
+struct RunResult
+{
+    CompileStats compile;
+    SimStats stats;
+};
+
+/**
+ * Compile @p wl under @p copts (swwWires is overwritten from @p cfg)
+ * and simulate on @p cfg.
+ */
+RunResult runPipeline(const Workload &wl, const HaacConfig &cfg,
+                      CompileOptions copts,
+                      SimMode mode = SimMode::Combined);
+
+/** Same, but returns the better of segment and full reordering. */
+RunResult runBestReorder(const Workload &wl, const HaacConfig &cfg,
+                         bool esw = true);
+
+/** Host-measured CPU GC seconds for a circuit (evaluator role). */
+double measuredCpuSeconds(const Workload &wl);
+
+/** Host-measured plaintext seconds for the workload's native kernel. */
+double plaintextSeconds(const Workload &wl);
+
+/** Geometric mean of a vector of positive values. */
+double geomean(const std::vector<double> &vals);
+
+/** Table 2 reference rows from the paper. */
+struct PaperTable2Row
+{
+    const char *name;
+    double levels;
+    double wiresK;
+    double gatesK;
+    double andPct;
+    double ilp;
+    double spentPct;
+};
+const std::vector<PaperTable2Row> &paperTable2();
+
+/** Table 3 reference rows (kilo-wires). */
+struct PaperTable3Row
+{
+    const char *name;
+    double liveSeg, liveFull;
+    double oorSeg, oorFull;
+    double totalSeg, totalFull;
+};
+const std::vector<PaperTable3Row> &paperTable3();
+
+/** Table 5 reference rows. */
+struct PaperTable5Row
+{
+    const char *source;
+    const char *bench;
+    double priorUs;
+    double paperHaacUs;
+    double paperSpeedup;
+};
+const std::vector<PaperTable5Row> &paperTable5();
+
+/** Fig. 9 energy-efficiency labels (K-times over CPU, per bench). */
+const std::vector<std::pair<const char *, double>> &paperFig9EfficiencyK();
+
+} // namespace haac::bench
+
+#endif // HAAC_BENCH_HARNESS_H

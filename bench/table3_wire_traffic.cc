@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces Table 3: off-chip wire traffic (live writebacks, OoRW
+ * reads, total) under segment vs full reordering, both with ESW and a
+ * 2 MB SWW. Counts are in kilo-wires, as in the paper.
+ */
+#include <cstdio>
+#include <iostream>
+
+#include "harness.h"
+
+using namespace haac;
+using namespace haac::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts = parseArgs(argc, argv, "Table 3: wire traffic");
+    HaacConfig cfg = defaultConfig();
+    // At default (shrunk) workload scale, shrink the SWW by 8x too so
+    // the window-pressure regime matches the paper's 2MB/paper-scale
+    // ratio; otherwise most circuits fit on-chip and traffic is ~0.
+    if (!opts.paperScale)
+        cfg.swwBytes /= 8;
+
+    std::printf("== Table 3: wire traffic, segment vs full reordering "
+                "(%.2fMB SWW, ESW; kilo-wires; %s scale) ==\n\n",
+                double(cfg.swwBytes) / (1024 * 1024),
+                opts.paperScale ? "paper" : "default");
+
+    Report table({"Benchmark", "Live Seg", "Live Full", "OoRW Seg",
+                  "OoRW Full", "Tot Seg", "Tot Full", "|paper:",
+                  "TotSeg", "TotFull"});
+
+    for (const PaperTable3Row &ref : paperTable3()) {
+        if (!opts.only.empty() && opts.only != ref.name)
+            continue;
+        Workload wl = vipWorkload(ref.name, opts.paperScale);
+
+        CompileOptions seg;
+        seg.reorder = ReorderKind::Segment;
+        CompileOptions full;
+        full.reorder = ReorderKind::Full;
+
+        RunResult rs = runPipeline(wl, cfg, seg);
+        RunResult rf = runPipeline(wl, cfg, full);
+
+        const double live_s = double(rs.compile.liveWires);
+        const double live_f = double(rf.compile.liveWires);
+        const double oor_s = double(rs.compile.oorReads);
+        const double oor_f = double(rf.compile.oorReads);
+        table.addRow({ref.name, fmtKilo(live_s), fmtKilo(live_f),
+                      fmtKilo(oor_s), fmtKilo(oor_f),
+                      fmtKilo(live_s + oor_s), fmtKilo(live_f + oor_f),
+                      "|", fmt(ref.totalSeg, 2), fmt(ref.totalFull, 2)});
+    }
+    table.print(std::cout);
+    std::printf("\nPaper shape: MatMult/DotProd/Merse/Triangle favor "
+                "segment reordering (less traffic); BubbSt/GradDesc/"
+                "Hamm favor full; ReLU is insensitive.\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reproduces Table 4: HAAC area and average power breakdown at the
+ * paper's design point (16 GEs, 2 MB SWW, 64 banks, 64 KB queues,
+ * 16 nm), plus scaling points for smaller accelerators.
+ */
+#include <cstdio>
+#include <iostream>
+
+#include "harness.h"
+#include "platform/energy_model.h"
+
+using namespace haac;
+using namespace haac::bench;
+
+namespace {
+
+void
+printBreakdown(const HaacConfig &cfg)
+{
+    AreaPowerBreakdown b = modelAreaPower(cfg);
+    Report table({"Component", "Area (mm2)", "Power (mW)"});
+    auto row = [&table](const char *name, const AreaPower &ap) {
+        table.addRow({name, fmt(ap.areaMm2, 4), fmt(ap.powerMw, 3)});
+    };
+    row("Half-Gate", b.halfGate);
+    row("FreeXOR", b.freeXor);
+    row("FWD", b.fwd);
+    row("Crossbar", b.crossbar);
+    row("SWW (SRAM)", b.sww);
+    row("Queues (SRAM)", b.queues);
+    row("Total HAAC", b.total);
+    row("HBM2 PHY", b.hbm2Phy);
+    table.print(std::cout);
+    std::printf("Power density: %.2f W/mm2\n\n",
+                b.powerDensityWPerMm2());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    parseArgs(argc, argv, "Table 4: area and power breakdown");
+
+    std::printf("== Table 4: area/power at the paper design point "
+                "(16 GEs, 2MB SWW, 64 banks, 64KB queues) ==\n\n");
+    printBreakdown(defaultConfig());
+    std::printf("Paper: Half-Gate 2.15mm2/1253mW, SWW 1.94mm2/196mW, "
+                "total 4.33mm2/1502mW, density ~0.35 W/mm2.\n\n");
+
+    std::printf("== Scaling: 4 GEs, 1MB SWW ==\n\n");
+    HaacConfig small;
+    small.numGes = 4;
+    small.banksPerGe = 4;
+    small.swwBytes = 1024 * 1024;
+    small.queueSramBytes = 16 * 1024;
+    printBreakdown(small);
+
+    std::printf("== Scaling: 32 GEs, 4MB SWW ==\n\n");
+    HaacConfig big;
+    big.numGes = 32;
+    big.swwBytes = 4 * 1024 * 1024;
+    big.queueSramBytes = 128 * 1024;
+    printBreakdown(big);
+    return 0;
+}

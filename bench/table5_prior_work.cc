@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reproduces Table 5: HAAC garbling time against prior GC accelerators
+ * (MAXelerator, FASE, FPGA Overlay, FPGA-cloud works, GPU), using the
+ * paper's comparison configuration: Garbler role, 16 GEs, 1 MB SWW,
+ * full reordering. Prior-work times are the numbers published in the
+ * paper; our column is the simulated HAAC time for our circuits.
+ */
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "harness.h"
+#include "workloads/priorwork.h"
+
+using namespace haac;
+using namespace haac::bench;
+
+int
+main(int argc, char **argv)
+{
+    parseArgs(argc, argv, "Table 5: comparison to prior work");
+
+    HaacConfig cfg = defaultConfig();
+    cfg.role = Role::Garbler;
+    cfg.swwBytes = 1024 * 1024;
+
+    std::printf("== Table 5: garbling time vs prior accelerators "
+                "(Garbler, 16 GEs, 1MB SWW, full reorder) ==\n\n");
+
+    // Build each distinct circuit once.
+    std::map<std::string, Workload> circuits;
+    circuits.emplace("5x5Matx-8", makeSmallMatMult(5, 8));
+    circuits.emplace("3x3Matx-16", makeSmallMatMult(3, 16));
+    circuits.emplace("AES-128", makeAes128());
+    circuits.emplace("Mult-32", makeMultiplier(32));
+    circuits.emplace("Hamm-50", makeHamming(50));
+    circuits.emplace("Million-8", makeMillionaire(8));
+    circuits.emplace("Million-2", makeMillionaire(2));
+    circuits.emplace("Add-6", makeAdder(6));
+    circuits.emplace("Add-16", makeAdder(16));
+
+    std::map<std::string, double> haac_us;
+    std::map<std::string, uint64_t> gate_count;
+    uint64_t total_gates = 0;
+    double total_us = 0;
+    for (auto &[name, wl] : circuits) {
+        CompileOptions copts;
+        copts.reorder = ReorderKind::Full;
+        RunResult run = runPipeline(wl, cfg, copts);
+        haac_us[name] = run.stats.seconds() * 1e6;
+        gate_count[name] = wl.netlist.numGates();
+        total_gates += wl.netlist.numGates();
+        total_us += haac_us[name];
+    }
+
+    Report table({"Work", "Benchmark", "Prior (us)", "Ours (us)",
+                  "Speedup", "| paper HAAC (us)", "paper x",
+                  "#gates"});
+    for (const PaperTable5Row &row : paperTable5()) {
+        const double ours = haac_us.at(row.bench);
+        table.addRow({row.source, row.bench, fmt(row.priorUs, 2),
+                      fmt(ours, 3), fmt(row.priorUs / ours, 1), "|",
+                      fmt(row.paperHaacUs, 3), fmt(row.paperSpeedup, 1),
+                      std::to_string(gate_count.at(row.bench))});
+    }
+    table.print(std::cout);
+
+    // GPU row: garbling rate in gates/us.
+    Workload aes = makeAes128();
+    CompileOptions copts;
+    copts.reorder = ReorderKind::Full;
+    RunResult run = runPipeline(aes, cfg, copts);
+    const double rate =
+        double(aes.netlist.numGates()) / (run.stats.seconds() * 1e6);
+    std::printf("\nGPU [35]: 75 gates/us garbled; our HAAC: %.0f "
+                "gates/us on AES-128 (paper: 8,700 gates/us).\n",
+                rate);
+    std::printf("Notes: tiny circuits (Million-2/8, Add-6) cannot fill "
+                "16 GEs, as the paper also observes; our AES-128 uses "
+                "a GF-inversion S-box (~%llu gates vs Boyar-Peralta's "
+                "~6.8k ANDs), so its absolute time is larger.\n",
+                (unsigned long long)aes.netlist.numGates());
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Compiler explorer: load any Bristol-format netlist (or a built-in
+ * demo), run every HAAC compiler configuration across SWW sizes, and
+ * print the schedule / traffic / cycle tradeoffs — a command-line view
+ * of the paper's Figures 6 and 7 for *your* circuit.
+ *
+ *   ./compiler_explorer [circuit.bristol]
+ */
+#include <cstdio>
+#include <iostream>
+
+#include "circuit/bristol.h"
+#include "circuit/builder.h"
+#include "circuit/stdlib.h"
+#include "core/compiler/depgraph.h"
+#include "core/compiler/passes.h"
+#include "core/sim/engine.h"
+#include "platform/report.h"
+
+using namespace haac;
+
+namespace {
+
+Netlist
+demoCircuit()
+{
+    // A 64-element 16-bit odd-even style accumulation tree with some
+    // serial tails: enough ILP variety to make reordering interesting.
+    CircuitBuilder cb;
+    std::vector<Bits> vals(64);
+    for (int i = 0; i < 32; ++i)
+        vals[i] = cb.garblerInputs(16);
+    for (int i = 32; i < 64; ++i)
+        vals[i] = cb.evaluatorInputs(16);
+    // Tree reduce of products of neighbors.
+    std::vector<Bits> level;
+    for (int i = 0; i < 64; i += 2)
+        level.push_back(mulBits(cb, vals[i], vals[i + 1], 16));
+    while (level.size() > 1) {
+        std::vector<Bits> next;
+        for (size_t i = 0; i + 1 < level.size(); i += 2)
+            next.push_back(addBits(cb, level[i], level[i + 1]));
+        if (level.size() % 2)
+            next.push_back(level.back());
+        level = std::move(next);
+    }
+    // Serial tail: dependent squarings.
+    Bits acc = level[0];
+    for (int i = 0; i < 8; ++i)
+        acc = mulBits(cb, acc, acc, 16);
+    cb.addOutputs(acc);
+    return cb.build();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Netlist netlist;
+    if (argc > 1) {
+        std::printf("loading Bristol netlist %s\n", argv[1]);
+        netlist = readBristolFile(argv[1]);
+    } else {
+        std::printf("no netlist given; using the built-in demo "
+                    "(pass a .bristol file to analyze your own)\n");
+        netlist = demoCircuit();
+    }
+
+    HaacProgram baseline = assemble(netlist);
+    DependenceGraph graph(baseline);
+    std::printf("\ncircuit: %u gates (%.1f%% AND), %u wires, depth %u "
+                "levels, avg ILP %.1f\n\n",
+                netlist.numGates(), netlist.andPercent(),
+                netlist.numWires(), graph.numLevels(),
+                graph.averageIlp());
+
+    Report table({"Schedule", "SWW", "ESW", "Cycles", "us", "OoRW",
+                  "Live", "InstrQ stall", "Operand stall"});
+    for (ReorderKind kind : {ReorderKind::Baseline, ReorderKind::Full,
+                             ReorderKind::Segment}) {
+        for (size_t sww_kb : {256, 2048}) {
+            for (bool esw : {false, true}) {
+                HaacConfig cfg;
+                cfg.swwBytes = sww_kb * 1024;
+                CompileOptions opts;
+                opts.reorder = kind;
+                opts.esw = esw;
+                opts.swwWires = cfg.swwWires();
+                CompileStats cstats;
+                HaacProgram prog =
+                    compileProgram(baseline, opts, &cstats);
+                SimStats stats = simulate(prog, cfg);
+                table.addRow(
+                    {reorderKindName(kind),
+                     std::to_string(sww_kb) + "KB", esw ? "on" : "off",
+                     std::to_string(stats.cycles),
+                     fmt(stats.seconds() * 1e6, 2),
+                     std::to_string(cstats.oorReads),
+                     std::to_string(cstats.liveWires),
+                     std::to_string(stats.stallInstrQueue),
+                     std::to_string(stats.stallOperand)});
+            }
+        }
+    }
+    table.print(std::cout);
+    std::printf("\n(16 GEs, DDR4, Evaluator; 'Cycles' is the combined "
+                "compute+traffic model)\n");
+    return 0;
+}

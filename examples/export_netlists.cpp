@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Export the VIP-Bench workload circuits as Bristol-format netlists,
+ * for interop with other GC frameworks (EMP, ABY, ...) or for feeding
+ * back into compiler_explorer.
+ *
+ *   ./export_netlists [out_dir] [--paper-scale]
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "circuit/bristol.h"
+#include "workloads/vip.h"
+
+using namespace haac;
+
+int
+main(int argc, char **argv)
+{
+    std::string out_dir = ".";
+    bool paper_scale = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--paper-scale") == 0)
+            paper_scale = true;
+        else
+            out_dir = argv[i];
+    }
+
+    for (const std::string &name : vipNames()) {
+        Workload wl = vipWorkload(name, paper_scale);
+        const std::string path = out_dir + "/" + name + ".bristol";
+        std::ofstream f(path);
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return 1;
+        }
+        writeBristol(wl.netlist, f);
+        std::printf("%-9s -> %s (%u gates, %u wires)\n", name.c_str(),
+                    path.c_str(), wl.netlist.numGates(),
+                    wl.netlist.numWires());
+    }
+    std::printf("\nNote: the constant-one wire is exported as the last "
+                "evaluator input; feed it 1 when evaluating "
+                "externally.\n");
+    return 0;
+}

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Bristol-format netlist I/O.
+ *
+ * The HAAC toolflow (paper Fig. 5) consumes netlists in the "old"
+ * Bristol format that EMP emits: a header of gate/wire counts, an
+ * input/output split, then one gate per line. The reader accepts
+ * AND/XOR/INV/NOT/EQW gates and canonicalizes on load: INV becomes XOR
+ * against the constant-one wire, EQW becomes wire aliasing, and wires
+ * are renumbered so gate outputs are dense and in order (the invariant
+ * the rest of the stack relies on).
+ */
+#ifndef HAAC_CIRCUIT_BRISTOL_H
+#define HAAC_CIRCUIT_BRISTOL_H
+
+#include <iosfwd>
+#include <string>
+
+#include "circuit/netlist.h"
+
+namespace haac {
+
+/** Parse an old-format Bristol circuit. Throws std::runtime_error. */
+Netlist readBristol(std::istream &in);
+Netlist readBristolFile(const std::string &path);
+Netlist readBristolString(const std::string &text);
+
+/** Serialize a canonical netlist to the old Bristol format. */
+void writeBristol(const Netlist &netlist, std::ostream &out);
+std::string writeBristolString(const Netlist &netlist);
+
+} // namespace haac
+
+#endif // HAAC_CIRCUIT_BRISTOL_H

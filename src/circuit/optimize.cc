@@ -1,0 +1,138 @@
+#include "circuit/optimize.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace haac {
+
+namespace {
+
+/** Rebuild a canonical netlist keeping only gates with keep[g] set. */
+Netlist
+compact(const Netlist &netlist, const std::vector<bool> &keep,
+        const std::vector<WireId> &alias)
+{
+    const uint32_t inputs = netlist.numInputs();
+    Netlist out;
+    out.numGarblerInputs = netlist.numGarblerInputs;
+    out.numEvaluatorInputs = netlist.numEvaluatorInputs;
+    out.constOne = netlist.constOne;
+
+    // Old wire id -> new wire id (inputs map to themselves).
+    std::vector<WireId> remap(netlist.numWires(), kNoWire);
+    for (uint32_t w = 0; w < inputs; ++w)
+        remap[w] = w;
+
+    auto resolve = [&](WireId w) {
+        // Follow the alias chain (set by merging) then remap.
+        while (alias[w] != w)
+            w = alias[w];
+        return remap[w];
+    };
+
+    for (uint32_t g = 0; g < netlist.numGates(); ++g) {
+        if (!keep[g])
+            continue;
+        const Gate &gate = netlist.gates[g];
+        Gate ng{gate.op, resolve(gate.a), resolve(gate.b)};
+        remap[inputs + g] = inputs + out.numGates();
+        out.gates.push_back(ng);
+    }
+    out.outputs.reserve(netlist.outputs.size());
+    for (WireId w : netlist.outputs)
+        out.outputs.push_back(resolve(w));
+    return out;
+}
+
+std::vector<WireId>
+identityAlias(const Netlist &netlist)
+{
+    std::vector<WireId> alias(netlist.numWires());
+    for (uint32_t w = 0; w < alias.size(); ++w)
+        alias[w] = w;
+    return alias;
+}
+
+} // namespace
+
+Netlist
+eliminateDeadGates(const Netlist &netlist, OptimizeStats *stats)
+{
+    const uint32_t inputs = netlist.numInputs();
+    std::vector<bool> reachable(netlist.numWires(), false);
+    for (WireId w : netlist.outputs)
+        reachable[w] = true;
+    for (int g = int(netlist.numGates()) - 1; g >= 0; --g) {
+        if (!reachable[inputs + uint32_t(g)])
+            continue;
+        reachable[netlist.gates[size_t(g)].a] = true;
+        reachable[netlist.gates[size_t(g)].b] = true;
+    }
+
+    std::vector<bool> keep(netlist.numGates());
+    uint32_t removed = 0;
+    for (uint32_t g = 0; g < netlist.numGates(); ++g) {
+        keep[g] = reachable[inputs + g];
+        removed += keep[g] ? 0 : 1;
+    }
+    if (stats)
+        stats->deadGatesRemoved += removed;
+    return compact(netlist, keep, identityAlias(netlist));
+}
+
+Netlist
+mergeDuplicateGates(const Netlist &netlist, OptimizeStats *stats)
+{
+    const uint32_t inputs = netlist.numInputs();
+    std::vector<WireId> alias = identityAlias(netlist);
+    std::vector<bool> keep(netlist.numGates(), true);
+
+    // Key: op | min(a,b) | max(a,b) after alias resolution.
+    std::unordered_map<uint64_t, WireId> seen;
+    seen.reserve(netlist.numGates());
+    auto resolve = [&alias](WireId w) {
+        while (alias[w] != w)
+            w = alias[w];
+        return w;
+    };
+
+    uint32_t merged = 0;
+    for (uint32_t g = 0; g < netlist.numGates(); ++g) {
+        const Gate &gate = netlist.gates[g];
+        const WireId a = resolve(gate.a);
+        const WireId b = resolve(gate.b);
+        const uint64_t key = (uint64_t(gate.op) << 62) |
+                             (uint64_t(std::min(a, b)) << 31) |
+                             uint64_t(std::max(a, b));
+        auto [it, inserted] = seen.emplace(key, inputs + g);
+        if (!inserted) {
+            alias[inputs + g] = it->second;
+            keep[g] = false;
+            ++merged;
+        }
+    }
+    if (stats)
+        stats->duplicatesMerged += merged;
+    return compact(netlist, keep, alias);
+}
+
+Netlist
+optimizeNetlist(const Netlist &netlist, OptimizeStats *stats)
+{
+    Netlist cur = netlist;
+    for (int round = 0; round < 8; ++round) {
+        OptimizeStats local;
+        cur = mergeDuplicateGates(cur, &local);
+        cur = eliminateDeadGates(cur, &local);
+        if (stats) {
+            stats->deadGatesRemoved += local.deadGatesRemoved;
+            stats->duplicatesMerged += local.duplicatesMerged;
+        }
+        if (local.deadGatesRemoved == 0 && local.duplicatesMerged == 0)
+            break;
+    }
+    return cur;
+}
+
+} // namespace haac

@@ -1,0 +1,13 @@
+#include "core/compiler/streams.h"
+
+#include "core/sim/engine.h"
+
+namespace haac {
+
+StreamSet
+buildStreams(const HaacProgram &prog, const HaacConfig &cfg)
+{
+    return recordSchedule(prog, cfg);
+}
+
+} // namespace haac

@@ -1,0 +1,75 @@
+#include "core/isa/disasm.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace haac {
+
+const char *
+opName(HaacOp op)
+{
+    switch (op) {
+      case HaacOp::Nop:
+        return "NOP";
+      case HaacOp::And:
+        return "AND";
+      case HaacOp::Xor:
+        return "XOR";
+      case HaacOp::Not:
+        return "NOT";
+    }
+    return "???";
+}
+
+namespace {
+
+std::string
+wireName(uint32_t addr)
+{
+    if (addr == kOorAddr)
+        return "oorw"; // operand comes from the OoRW queue
+    return "w" + std::to_string(addr);
+}
+
+} // namespace
+
+std::string
+toString(const HaacInstruction &ins, uint32_t out_addr)
+{
+    std::ostringstream os;
+    os << opName(ins.op) << ' ' << wireName(ins.a);
+    if (ins.op == HaacOp::And || ins.op == HaacOp::Xor)
+        os << ", " << wireName(ins.b);
+    if (out_addr != kOorAddr)
+        os << " -> " << wireName(out_addr);
+    if (ins.live)
+        os << " [live]";
+    if (ins.op == HaacOp::And)
+        os << " (tweak " << ins.tweak << ")";
+    return os.str();
+}
+
+void
+disassemble(const HaacProgram &prog, std::ostream &os,
+            size_t max_instrs)
+{
+    os << "; inputs: w1..w" << prog.numInputs;
+    if (prog.constOneAddr != kOorAddr)
+        os << " (w" << prog.constOneAddr << " = const 1)";
+    os << "\n";
+    const size_t n = max_instrs == 0
+                         ? prog.instrs.size()
+                         : std::min(max_instrs, prog.instrs.size());
+    for (size_t k = 0; k < n; ++k) {
+        os << k << ":\t"
+           << toString(prog.instrs[k], prog.outputAddrOf(k)) << "\n";
+    }
+    if (n < prog.instrs.size())
+        os << "; ... " << prog.instrs.size() - n << " more\n";
+    os << "; outputs:";
+    for (uint32_t o : prog.outputs)
+        os << " w" << o;
+    os << "\n";
+}
+
+} // namespace haac

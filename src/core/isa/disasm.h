@@ -1,0 +1,38 @@
+/**
+ * @file
+ * HAAC disassembler: human-readable program listings for debugging
+ * compiler passes and stream generation.
+ */
+#ifndef HAAC_CORE_ISA_DISASM_H
+#define HAAC_CORE_ISA_DISASM_H
+
+#include <iosfwd>
+#include <string>
+
+#include "core/isa/program.h"
+
+namespace haac {
+
+/** "AND" / "XOR" / "NOT" / "NOP". */
+const char *opName(HaacOp op);
+
+/**
+ * One instruction as text, e.g. "AND w12, w7 -> w19 [live] (tweak 4)".
+ *
+ * @param out_addr the instruction's implicit output address; pass
+ *        kOorAddr to omit the arrow.
+ */
+std::string toString(const HaacInstruction &ins,
+                     uint32_t out_addr = kOorAddr);
+
+/**
+ * Disassemble a whole program.
+ *
+ * @param max_instrs cap on listed instructions (0 = all).
+ */
+void disassemble(const HaacProgram &prog, std::ostream &os,
+                 size_t max_instrs = 0);
+
+} // namespace haac
+
+#endif // HAAC_CORE_ISA_DISASM_H

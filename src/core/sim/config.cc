@@ -1,0 +1,17 @@
+#include "core/sim/config.h"
+
+namespace haac {
+
+double
+dramBytesPerCycle(DramKind kind)
+{
+    switch (kind) {
+      case DramKind::Ddr4:
+        return 35.2;
+      case DramKind::Hbm2:
+        return 512.0;
+    }
+    return 35.2;
+}
+
+} // namespace haac

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The HAAC cycle-level performance model (paper §3 and §5 "Simulator").
+ *
+ * One engine implements three evaluation modes:
+ *  - Combined: compute pipelines + streaming queues + shared DRAM;
+ *    this produces the headline numbers (Figs. 6, 8, 10).
+ *  - ComputeOnly: ideal memory; isolates GE execution (Fig. 7 red).
+ *  - TrafficOnly: free compute; isolates off-chip movement (Fig. 7
+ *    blue, which the paper further narrows to wire bytes only — see
+ *    SimStats::wireTrafficBytes).
+ *
+ * The same machinery, run compute-only with a global in-order
+ * dispatcher, is the compiler's GE-mapping pass (recordSchedule);
+ * hardware then replays that mapping, as in the paper.
+ */
+#ifndef HAAC_CORE_SIM_ENGINE_H
+#define HAAC_CORE_SIM_ENGINE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/compiler/streams.h"
+#include "core/isa/program.h"
+#include "core/sim/config.h"
+#include "core/sim/stats.h"
+
+namespace haac {
+
+enum class SimMode
+{
+    Combined,
+    ComputeOnly,
+    TrafficOnly,
+};
+
+/**
+ * Compiler-side scheduling pass: map instructions to non-stalled GEs
+ * cycle by cycle (ideal streams, full hazard model) and record the
+ * per-GE order for hardware replay.
+ */
+StreamSet recordSchedule(const HaacProgram &prog, const HaacConfig &cfg);
+
+/**
+ * Run the timing model over a scheduled program.
+ *
+ * @param prog   compiled program (absolute addresses, live bits set).
+ * @param cfg    hardware configuration.
+ * @param streams output of buildStreams()/recordSchedule().
+ * @param mode   see SimMode.
+ */
+SimStats runSimulation(const HaacProgram &prog, const HaacConfig &cfg,
+                       const StreamSet &streams,
+                       SimMode mode = SimMode::Combined);
+
+/** Convenience: build streams and run in one call. */
+SimStats simulate(const HaacProgram &prog, const HaacConfig &cfg,
+                  SimMode mode = SimMode::Combined);
+
+} // namespace haac
+
+#endif // HAAC_CORE_SIM_ENGINE_H

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Functional HAAC machine: bit-true execution of a compiled program.
+ *
+ * Runs the Garbler and Evaluator datapaths side by side through the
+ * accelerator's memory semantics — the physical SWW (with sliding-
+ * window slot reuse), per-GE OoRW queues in compiler-generated pop
+ * order, live-bit spills to a DRAM backing store — and checks, on
+ * every wire, the garbling invariant
+ *     active_label == zero_label ^ (plain_bit ? R : 0).
+ *
+ * This is the proof that the ISA, the compiler passes (reorder, rename,
+ * ESW, stream generation), and the window discipline preserve GC
+ * semantics (paper §5 "Correctness": "The simulator is verified to be
+ * functionally correct").
+ */
+#ifndef HAAC_CORE_SIM_FUNCTIONAL_H
+#define HAAC_CORE_SIM_FUNCTIONAL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/compiler/streams.h"
+#include "core/isa/program.h"
+#include "core/sim/config.h"
+
+namespace haac {
+
+struct FunctionalResult
+{
+    bool ok = false;
+    std::string error;
+
+    /** Decoded circuit outputs (only meaningful when ok). */
+    std::vector<bool> outputs;
+
+    uint64_t oorPops = 0;
+    uint64_t liveSpills = 0;
+    uint64_t slotOverwrites = 0;
+};
+
+/**
+ * Execute @p prog functionally.
+ *
+ * @param streams compiler streams (per-GE order and OoRW pops).
+ * @param garbler_bits / @p evaluator_bits plaintext inputs.
+ * @param seed garbling randomness.
+ */
+FunctionalResult runFunctional(const HaacProgram &prog,
+                               const StreamSet &streams,
+                               const HaacConfig &cfg,
+                               const std::vector<bool> &garbler_bits,
+                               const std::vector<bool> &evaluator_bits,
+                               uint64_t seed = 0x4841414331ull);
+
+} // namespace haac
+
+#endif // HAAC_CORE_SIM_FUNCTIONAL_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Portable software AES-128 (FIPS-197).
+ *
+ * HAAC's Half-Gate units hash labels with AES using *re-keying*: every
+ * hash uses a fresh key derived from the gate index, so the 176-byte key
+ * expansion runs per hash (Fig. 2 of the paper). This module exposes the
+ * key schedule separately from block encryption so both the re-keying
+ * and fixed-key constructions (and the 27.5% cost ablation between them)
+ * can be expressed.
+ *
+ * This is an encryption-only implementation (GC never decrypts AES).
+ */
+#ifndef HAAC_CRYPTO_AES128_H
+#define HAAC_CRYPTO_AES128_H
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/label.h"
+
+namespace haac {
+
+/** Number of 16-byte round keys for AES-128 (the 176-byte schedule). */
+inline constexpr int kAesRounds = 10;
+inline constexpr size_t kAesExpandedKeyBytes = 16 * (kAesRounds + 1);
+
+/**
+ * An expanded AES-128 key schedule.
+ *
+ * Construction runs the FIPS-197 key expansion; this is the unit of
+ * work the paper's "key expand" boxes represent.
+ */
+class Aes128
+{
+  public:
+    /** Expand a 16-byte key. */
+    explicit Aes128(const uint8_t key[16]);
+
+    /** Expand a key held in a Label (little-endian serialization). */
+    explicit Aes128(const Label &key);
+
+    /** Encrypt one 16-byte block in place semantics: out may alias in. */
+    void encryptBlock(const uint8_t in[16], uint8_t out[16]) const;
+
+    /** Encrypt a Label-typed block. */
+    Label encryptBlock(const Label &in) const;
+
+    /** Raw access to the 176-byte schedule (for tests). */
+    const std::array<uint8_t, kAesExpandedKeyBytes> &
+    roundKeys() const
+    {
+        return roundKeys_;
+    }
+
+  private:
+    std::array<uint8_t, kAesExpandedKeyBytes> roundKeys_{};
+};
+
+} // namespace haac
+
+#endif // HAAC_CRYPTO_AES128_H

@@ -1,0 +1,58 @@
+#include "crypto/prg.h"
+
+namespace haac {
+
+namespace {
+
+Label
+seedToKey(uint64_t seed)
+{
+    // Spread the seed across the key with distinct mixing constants
+    // (splitmix64 finalizer) so nearby seeds give unrelated keys.
+    uint64_t z = seed + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    uint64_t lo = z ^ (z >> 31);
+    z = seed + 0x7f4a7c15'9e3779b9ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    uint64_t hi = z ^ (z >> 31);
+    return Label(lo, hi);
+}
+
+} // namespace
+
+Prg::Prg(uint64_t seed) : aes_(seedToKey(seed)) {}
+
+Label
+Prg::nextLabel()
+{
+    Label ctr(counter_++, 0x484141435f505247ull); // "HAAC_PRG" tag
+    return aes_.encryptBlock(ctr);
+}
+
+uint64_t
+Prg::nextU64()
+{
+    if (haveSpareHalf_) {
+        haveSpareHalf_ = false;
+        return spare_.hi;
+    }
+    spare_ = nextLabel();
+    haveSpareHalf_ = true;
+    return spare_.lo;
+}
+
+uint64_t
+Prg::nextRange(uint64_t bound)
+{
+    // Rejection sampling to avoid modulo bias.
+    uint64_t limit = bound * (~uint64_t(0) / bound);
+    uint64_t v;
+    do {
+        v = nextU64();
+    } while (v >= limit);
+    return v % bound;
+}
+
+} // namespace haac

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Deterministic pseudorandom generator for label generation.
+ *
+ * The Garbler draws the global offset R and all fresh wire labels from a
+ * PRG. We use AES-128 in counter mode keyed by a seed, which keeps the
+ * whole pipeline deterministic (same seed => same garbling), a property
+ * the test suite leans on heavily.
+ */
+#ifndef HAAC_CRYPTO_PRG_H
+#define HAAC_CRYPTO_PRG_H
+
+#include <cstdint>
+
+#include "crypto/aes128.h"
+#include "crypto/label.h"
+
+namespace haac {
+
+/** AES-CTR pseudorandom label stream. */
+class Prg
+{
+  public:
+    /** Seed the stream; two Prgs with equal seeds emit equal streams. */
+    explicit Prg(uint64_t seed);
+
+    /** Next 128 pseudorandom bits. */
+    Label nextLabel();
+
+    /** Next 64 pseudorandom bits. */
+    uint64_t nextU64();
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    uint64_t nextRange(uint64_t bound);
+
+    /** Uniform bit. */
+    bool nextBit() { return (nextU64() & 1) != 0; }
+
+  private:
+    Aes128 aes_;
+    uint64_t counter_ = 0;
+    Label spare_;
+    bool haveSpareHalf_ = false;
+};
+
+} // namespace haac
+
+#endif // HAAC_CRYPTO_PRG_H

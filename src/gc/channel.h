@@ -1,0 +1,117 @@
+/**
+ * @file
+ * In-process communication channel with traffic accounting.
+ *
+ * GCs are data intensive (paper §1): 32 B of table per AND gate plus a
+ * 16 B label per input. The protocol runner moves every byte through a
+ * Channel so tests and benchmarks can account for communication exactly
+ * as a two-machine deployment would see it.
+ */
+#ifndef HAAC_GC_CHANNEL_H
+#define HAAC_GC_CHANNEL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+#include <vector>
+
+#include "crypto/label.h"
+
+namespace haac {
+
+/** One-directional FIFO byte channel with counters. */
+class Channel
+{
+  public:
+    void
+    sendBytes(const uint8_t *data, size_t n)
+    {
+        buffer_.insert(buffer_.end(), data, data + n);
+        bytesSent_ += n;
+        ++messagesSent_;
+    }
+
+    void
+    recvBytes(uint8_t *data, size_t n)
+    {
+        if (buffer_.size() < n)
+            throw std::runtime_error("channel underflow");
+        for (size_t i = 0; i < n; ++i)
+            data[i] = buffer_[i];
+        buffer_.erase(buffer_.begin(), buffer_.begin() + long(n));
+    }
+
+    void
+    sendLabel(const Label &l)
+    {
+        uint8_t buf[kLabelBytes];
+        l.toBytes(buf);
+        sendBytes(buf, sizeof(buf));
+    }
+
+    Label
+    recvLabel()
+    {
+        uint8_t buf[kLabelBytes];
+        recvBytes(buf, sizeof(buf));
+        return Label::fromBytes(buf);
+    }
+
+    void
+    sendTable(const GarbledTable &t)
+    {
+        sendLabel(t.tg);
+        sendLabel(t.te);
+    }
+
+    GarbledTable
+    recvTable()
+    {
+        GarbledTable t;
+        t.tg = recvLabel();
+        t.te = recvLabel();
+        return t;
+    }
+
+    void
+    sendBit(bool b)
+    {
+        uint8_t v = b ? 1 : 0;
+        sendBytes(&v, 1);
+    }
+
+    bool
+    recvBit()
+    {
+        uint8_t v = 0;
+        recvBytes(&v, 1);
+        return v != 0;
+    }
+
+    size_t bytesSent() const { return bytesSent_; }
+    size_t messagesSent() const { return messagesSent_; }
+    size_t pending() const { return buffer_.size(); }
+
+  private:
+    std::deque<uint8_t> buffer_;
+    size_t bytesSent_ = 0;
+    size_t messagesSent_ = 0;
+};
+
+/** The two directed channels of a two-party session. */
+struct DuplexChannel
+{
+    Channel toEvaluator;
+    Channel toGarbler;
+
+    size_t
+    totalBytes() const
+    {
+        return toEvaluator.bytesSent() + toGarbler.bytesSent();
+    }
+};
+
+} // namespace haac
+
+#endif // HAAC_GC_CHANNEL_H

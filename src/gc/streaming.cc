@@ -1,0 +1,78 @@
+#include "gc/streaming.h"
+
+#include <stdexcept>
+
+#include "crypto/prg.h"
+#include "gc/evaluator.h"
+#include "gc/garbler.h"
+
+namespace haac {
+
+StreamedGarbling
+garbleStreaming(const Netlist &netlist, uint64_t seed,
+                const TableSink &sink)
+{
+    StreamedGarbling out;
+    Prg prg(seed);
+    Label r = prg.nextLabel();
+    r.setLsb(true);
+    out.globalOffset = r;
+
+    std::vector<Label> zero(netlist.numWires());
+    for (uint32_t w = 0; w < netlist.numInputs(); ++w)
+        zero[w] = prg.nextLabel();
+    out.inputZeroLabels.assign(zero.begin(),
+                               zero.begin() + netlist.numInputs());
+
+    uint64_t and_index = 0;
+    for (uint32_t g = 0; g < netlist.numGates(); ++g) {
+        const Gate &gate = netlist.gates[g];
+        const WireId wout = netlist.outputWireOf(g);
+        if (gate.op == GateOp::Xor) {
+            zero[wout] = zero[gate.a] ^ zero[gate.b];
+        } else {
+            HalfGateGarbled hg =
+                garbleAnd(zero[gate.a], zero[gate.b], r, and_index++);
+            sink(hg.table);
+            ++out.tablesEmitted;
+            zero[wout] = hg.outZero;
+        }
+    }
+    out.outputZeroLabels.reserve(netlist.outputs.size());
+    for (WireId w : netlist.outputs)
+        out.outputZeroLabels.push_back(zero[w]);
+    return out;
+}
+
+std::vector<Label>
+evaluateStreaming(const Netlist &netlist,
+                  const std::vector<Label> &input_labels,
+                  const TableSource &source)
+{
+    if (input_labels.size() != netlist.numInputs())
+        throw std::invalid_argument(
+            "evaluateStreaming: wrong input label count");
+    std::vector<Label> labels(netlist.numWires());
+    for (uint32_t w = 0; w < netlist.numInputs(); ++w)
+        labels[w] = input_labels[w];
+
+    uint64_t and_index = 0;
+    for (uint32_t g = 0; g < netlist.numGates(); ++g) {
+        const Gate &gate = netlist.gates[g];
+        const WireId wout = netlist.outputWireOf(g);
+        if (gate.op == GateOp::Xor) {
+            labels[wout] = labels[gate.a] ^ labels[gate.b];
+        } else {
+            const GarbledTable table = source();
+            labels[wout] = evaluateAnd(labels[gate.a], labels[gate.b],
+                                       table, and_index++);
+        }
+    }
+    std::vector<Label> outs;
+    outs.reserve(netlist.outputs.size());
+    for (WireId w : netlist.outputs)
+        outs.push_back(labels[w]);
+    return outs;
+}
+
+} // namespace haac

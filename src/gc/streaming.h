@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Streaming garble/evaluate: gate-at-a-time processing with tables
+ * delivered through callbacks instead of materialized vectors.
+ *
+ * This is how a real deployment pipelines: the Garbler streams each
+ * AND table onto the wire the moment it is produced, and the Evaluator
+ * consumes them in order — exactly the producer/consumer discipline
+ * HAAC's table queues implement in hardware (§3.1.2). Results are
+ * bit-identical to the batch Garbler/Evaluator classes.
+ */
+#ifndef HAAC_GC_STREAMING_H
+#define HAAC_GC_STREAMING_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "crypto/label.h"
+
+namespace haac {
+
+/** Receives each AND gate's table, in gate order. */
+using TableSink = std::function<void(const GarbledTable &)>;
+
+/** Supplies the next table on demand, in gate order. */
+using TableSource = std::function<GarbledTable()>;
+
+/** Outcome of a streaming garble: everything but the tables. */
+struct StreamedGarbling
+{
+    Label globalOffset;
+    /** Zero labels of primary inputs only (wires [0, numInputs)). */
+    std::vector<Label> inputZeroLabels;
+    /** Zero labels of the primary outputs, for decode bits. */
+    std::vector<Label> outputZeroLabels;
+    uint64_t tablesEmitted = 0;
+};
+
+/**
+ * Garble @p netlist, pushing each table to @p sink as it is created.
+ *
+ * Uses O(wires) label memory but never stores tables; deterministic
+ * and bit-identical to Garbler(netlist, seed).
+ */
+StreamedGarbling garbleStreaming(const Netlist &netlist, uint64_t seed,
+                                 const TableSink &sink);
+
+/**
+ * Evaluate with tables pulled on demand from @p source (in order).
+ *
+ * @return active labels of the primary outputs.
+ */
+std::vector<Label>
+evaluateStreaming(const Netlist &netlist,
+                  const std::vector<Label> &input_labels,
+                  const TableSource &source);
+
+} // namespace haac
+
+#endif // HAAC_GC_STREAMING_H

@@ -1,0 +1,51 @@
+#include "platform/cpu_model.h"
+
+#include <mutex>
+
+#include "circuit/builder.h"
+#include "circuit/stdlib.h"
+#include "gc/protocol.h"
+
+namespace haac {
+
+namespace {
+
+/** A ~64k-gate mixed circuit: chained multiplies and compares. */
+Netlist
+calibrationCircuit()
+{
+    CircuitBuilder cb;
+    Bits a = cb.garblerInputs(32);
+    Bits b = cb.evaluatorInputs(32);
+    Bits acc = a;
+    for (int i = 0; i < 24; ++i) {
+        acc = mulBits(cb, acc, b, 32);
+        acc = addBits(cb, acc, a);
+        Wire lt = ltSigned(cb, acc, b);
+        acc = muxBits(cb, lt, acc, xorBits(cb, acc, b));
+    }
+    cb.addOutputs(acc);
+    return cb.build();
+}
+
+} // namespace
+
+const CpuBaseline &
+cpuBaseline()
+{
+    static CpuBaseline baseline;
+    static std::once_flag once;
+    std::call_once(once, [] {
+        Netlist netlist = calibrationCircuit();
+        // Two runs; keep the second (warm caches).
+        SoftwareGcTiming timing = timeSoftwareGc(netlist, 7);
+        timing = timeSoftwareGc(netlist, 7);
+        baseline.garbleGatesPerSecond =
+            double(timing.gates) / timing.garbleSeconds;
+        baseline.evaluateGatesPerSecond =
+            double(timing.gates) / timing.evaluateSeconds;
+    });
+    return baseline;
+}
+
+} // namespace haac

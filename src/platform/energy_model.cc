@@ -1,0 +1,103 @@
+#include "platform/energy_model.h"
+
+#include <algorithm>
+
+#include "platform/cpu_model.h"
+
+namespace haac {
+
+namespace {
+
+// Table 4 anchors at 16 GEs, 2 MB SWW, 64 banks, 64 KB queues (16 nm).
+constexpr double kHgArea16 = 2.15, kHgPower16 = 1253.0;
+constexpr double kFxArea16 = 9.51e-4, kFxPower16 = 0.321;
+constexpr double kFwdArea16 = 1.80e-3, kFwdPower16 = 0.255;
+constexpr double kXbarArea16 = 7.27e-2, kXbarPower16 = 16.6;
+constexpr double kSwwAreaPer2Mb = 1.94, kSwwPowerPer2Mb = 196.0;
+constexpr double kQueueAreaPer64Kb = 0.173, kQueuePowerPer64Kb = 35.5;
+constexpr double kPhyArea = 14.9, kPhyPowerTdp = 225.0;
+
+} // namespace
+
+AreaPowerBreakdown
+modelAreaPower(const HaacConfig &cfg)
+{
+    AreaPowerBreakdown b;
+    const double ge_scale = double(cfg.numGes) / 16.0;
+    const double bank_scale =
+        double(cfg.totalBanks()) / 64.0;
+    const double sww_scale = double(cfg.swwBytes) / (2.0 * 1024 * 1024);
+    const double queue_scale = double(cfg.queueSramBytes) / (64.0 * 1024);
+
+    b.halfGate = {kHgArea16 * ge_scale, kHgPower16 * ge_scale};
+    b.freeXor = {kFxArea16 * ge_scale, kFxPower16 * ge_scale};
+    // Forwarding spans all GE pairs; the paper reports it cheap and
+    // roughly linear in GE count at these sizes.
+    b.fwd = {kFwdArea16 * ge_scale, kFwdPower16 * ge_scale};
+    b.crossbar = {kXbarArea16 * bank_scale, kXbarPower16 * bank_scale};
+    b.sww = {kSwwAreaPer2Mb * sww_scale, kSwwPowerPer2Mb * sww_scale};
+    b.queues = {kQueueAreaPer64Kb * queue_scale,
+                kQueuePowerPer64Kb * queue_scale};
+    b.total = {b.halfGate.areaMm2 + b.freeXor.areaMm2 + b.fwd.areaMm2 +
+                   b.crossbar.areaMm2 + b.sww.areaMm2 + b.queues.areaMm2,
+               b.halfGate.powerMw + b.freeXor.powerMw + b.fwd.powerMw +
+                   b.crossbar.powerMw + b.sww.powerMw + b.queues.powerMw};
+    b.hbm2Phy = {kPhyArea, kPhyPowerTdp};
+    return b;
+}
+
+EnergyBreakdown
+modelEnergy(const HaacConfig &cfg, const SimStats &stats)
+{
+    EnergyBreakdown e;
+    if (stats.cycles == 0)
+        return e;
+
+    const AreaPowerBreakdown ap = modelAreaPower(cfg);
+    const double t = stats.seconds();
+    const double slots = double(cfg.numGes) * double(stats.cycles);
+
+    // Dynamic power scales with issue-slot activity; a small static
+    // fraction burns regardless (clock tree + leakage).
+    constexpr double kStatic = 0.10;
+    auto activityEnergy = [&](double power_mw, double activity) {
+        activity = std::min(1.0, activity);
+        return power_mw * 1e-3 * t * (kStatic + (1 - kStatic) * activity);
+    };
+
+    const double and_act = double(stats.andOps) / slots;
+    const double xor_act =
+        double(stats.xorOps + stats.notOps) / slots;
+    const double fwd_act = double(stats.forwardHits) / slots;
+    // SWW/crossbar peak is ~3 accesses per issued instruction
+    // (2 reads + 1 write); queue SRAM peak is one 64 B line per cycle.
+    const double sww_act =
+        double(stats.swwReads + stats.swwWrites) / (3.0 * slots);
+    const double queue_bytes = double(stats.instrBytes +
+                                      stats.tableBytes +
+                                      stats.oorAddrBytes +
+                                      stats.oorDataBytes);
+    const double queue_act = queue_bytes / (64.0 * double(stats.cycles));
+
+    e.halfGateJ = activityEnergy(ap.halfGate.powerMw, and_act);
+    e.othersJ = activityEnergy(ap.freeXor.powerMw, xor_act) +
+                activityEnergy(ap.fwd.powerMw, fwd_act);
+    e.crossbarJ = activityEnergy(ap.crossbar.powerMw, sww_act);
+    e.sramJ = activityEnergy(ap.sww.powerMw, sww_act) +
+              activityEnergy(ap.queues.powerMw, queue_act);
+
+    // PHY energy: TDP while the link is busy moving this run's bytes.
+    const double link_seconds =
+        double(stats.totalTrafficBytes()) /
+        (dramBytesPerCycle(cfg.dram) * 1e9);
+    e.hbm2PhyJ = kPhyPowerTdp * 1e-3 * link_seconds;
+    return e;
+}
+
+double
+cpuEnergyJoules(double cpu_seconds)
+{
+    return kPaperCpuWatts * cpu_seconds;
+}
+
+} // namespace haac

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Analytical area / power / energy model (paper §6.4, Table 4, Fig. 9).
+ *
+ * Calibrated from the paper's published post-P&R numbers at the
+ * 16-GE / 2 MB SWW / 64-bank / 64 KB-queue design point in 16 nm, and
+ * scaled by configuration (GE count, SWW megabytes, queue kilobytes)
+ * and by simulator activity counts for energy. We do not run CAD tools
+ * (DESIGN.md substitutions); the calibration anchors reproduce Table 4
+ * exactly at the paper's configuration.
+ */
+#ifndef HAAC_PLATFORM_ENERGY_MODEL_H
+#define HAAC_PLATFORM_ENERGY_MODEL_H
+
+#include "core/sim/config.h"
+#include "core/sim/stats.h"
+
+namespace haac {
+
+struct AreaPower
+{
+    double areaMm2 = 0;
+    double powerMw = 0;
+};
+
+/** Table 4 rows. */
+struct AreaPowerBreakdown
+{
+    AreaPower halfGate;
+    AreaPower freeXor;
+    AreaPower fwd;
+    AreaPower crossbar;
+    AreaPower sww;
+    AreaPower queues;
+    AreaPower total;   ///< HAAC IP (excluding the PHY)
+    AreaPower hbm2Phy; ///< reported separately, as in the paper
+
+    double
+    powerDensityWPerMm2() const
+    {
+        return total.areaMm2 > 0
+                   ? (total.powerMw / 1000.0) / total.areaMm2
+                   : 0;
+    }
+};
+
+/** Scale the Table 4 anchors to @p cfg. */
+AreaPowerBreakdown modelAreaPower(const HaacConfig &cfg);
+
+/** Figure 9 components. */
+struct EnergyBreakdown
+{
+    double halfGateJ = 0;
+    double crossbarJ = 0;
+    double sramJ = 0;   ///< SWW + queue SRAMs
+    double othersJ = 0; ///< FreeXOR + forwarding
+    double hbm2PhyJ = 0;
+
+    double
+    totalJ() const
+    {
+        return halfGateJ + crossbarJ + sramJ + othersJ + hbm2PhyJ;
+    }
+};
+
+/** Activity-weighted energy for one simulated run. */
+EnergyBreakdown modelEnergy(const HaacConfig &cfg, const SimStats &stats);
+
+/** CPU energy over the same work (paper: 25 W average package power). */
+double cpuEnergyJoules(double cpu_seconds);
+
+} // namespace haac
+
+#endif // HAAC_PLATFORM_ENERGY_MODEL_H

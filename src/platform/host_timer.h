@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Small wall-clock timing helpers for host-side baselines.
+ */
+#ifndef HAAC_PLATFORM_HOST_TIMER_H
+#define HAAC_PLATFORM_HOST_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+namespace haac {
+
+/**
+ * Time one execution of @p fn by repeating it until at least
+ * @p min_total_seconds of wall clock has elapsed.
+ *
+ * @return seconds per execution.
+ */
+inline double
+timeKernel(const std::function<void()> &fn,
+           double min_total_seconds = 0.02, uint64_t max_reps = 1 << 22)
+{
+    using Clock = std::chrono::steady_clock;
+    uint64_t reps = 0;
+    const auto start = Clock::now();
+    double elapsed = 0;
+    while (elapsed < min_total_seconds && reps < max_reps) {
+        fn();
+        ++reps;
+        elapsed = std::chrono::duration<double>(Clock::now() - start)
+                      .count();
+    }
+    return reps > 0 ? elapsed / double(reps) : 0.0;
+}
+
+} // namespace haac
+
+#endif // HAAC_PLATFORM_HOST_TIMER_H

@@ -1,0 +1,99 @@
+#include "platform/report.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace haac {
+
+Report::Report(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Report::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Report::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << (c == 0 ? "" : "  ") << std::setw(int(widths[c]))
+               << (c == 0 ? std::left : std::right) << cells[c]
+               << std::right;
+        }
+        os << '\n';
+    };
+    line(headers_);
+    std::string rule;
+    for (size_t c = 0; c < widths.size(); ++c)
+        rule += std::string(widths[c], '-') + (c + 1 < widths.size()
+                                                   ? "  "
+                                                   : "");
+    os << rule << '\n';
+    for (const auto &row : rows_)
+        line(row);
+}
+
+std::string
+fmt(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+fmtKilo(double v, int precision)
+{
+    return fmt(v / 1000.0, precision);
+}
+
+std::string
+fmtSeconds(double seconds)
+{
+    std::ostringstream os;
+    os << std::fixed;
+    if (seconds >= 1.0)
+        os << std::setprecision(3) << seconds << " s";
+    else if (seconds >= 1e-3)
+        os << std::setprecision(3) << seconds * 1e3 << " ms";
+    else if (seconds >= 1e-6)
+        os << std::setprecision(3) << seconds * 1e6 << " us";
+    else
+        os << std::setprecision(1) << seconds * 1e9 << " ns";
+    return os.str();
+}
+
+std::string
+fmtBytes(uint64_t bytes)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(2);
+    const double b = double(bytes);
+    if (b >= double(1 << 30))
+        os << b / double(1 << 30) << " GiB";
+    else if (b >= double(1 << 20))
+        os << b / double(1 << 20) << " MiB";
+    else if (b >= 1024)
+        os << b / 1024.0 << " KiB";
+    else
+        os << bytes << " B";
+    return os.str();
+}
+
+} // namespace haac

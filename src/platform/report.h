@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Plain-text table formatting for the benchmark harness, so each bench
+ * binary prints rows/series shaped like the paper's tables and figures.
+ */
+#ifndef HAAC_PLATFORM_REPORT_H
+#define HAAC_PLATFORM_REPORT_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace haac {
+
+/** A simple right-aligned column table. */
+class Report
+{
+  public:
+    explicit Report(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Fixed-precision double. */
+std::string fmt(double v, int precision = 2);
+
+/** Engineering formats: 1234567 -> "1235k", seconds -> ms/us. */
+std::string fmtKilo(double v, int precision = 2);
+std::string fmtSeconds(double seconds);
+std::string fmtBytes(uint64_t bytes);
+
+} // namespace haac
+
+#endif // HAAC_PLATFORM_REPORT_H

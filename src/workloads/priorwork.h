@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The small circuits prior GC accelerators report (paper Table 5):
+ * millionaires' problems, adders, multipliers, Hamming-50, fixed-size
+ * matrix multiplies, and AES-128.
+ *
+ * AES-128's S-box is built from GF(2^8) inversion via an x^254 addition
+ * chain (4 GF multiplies of ~64 ANDs; squarings are linear/free) rather
+ * than the Boyar-Peralta netlist — see DESIGN.md substitutions.
+ */
+#ifndef HAAC_WORKLOADS_PRIORWORK_H
+#define HAAC_WORKLOADS_PRIORWORK_H
+
+#include <cstdint>
+
+#include "circuit/builder.h"
+#include "workloads/vip.h"
+
+namespace haac {
+
+/** @name GF(2^8) arithmetic circuits (AES field, poly 0x11b) */
+/// @{
+Bits gfMul(CircuitBuilder &cb, const Bits &a, const Bits &b);
+Bits gfSquare(CircuitBuilder &cb, const Bits &a);
+/** Multiplicative inverse via x^254 (inv(0) == 0, as AES needs). */
+Bits gfInverse(CircuitBuilder &cb, const Bits &a);
+/** Full S-box: affine(inverse(x)). */
+Bits aesSbox(CircuitBuilder &cb, const Bits &x);
+/// @}
+
+/** Yao's millionaires' problem on @p bits-bit wealth. */
+Workload makeMillionaire(uint32_t bits);
+
+/** @p bits-bit addition (FPGA-overlay's Add-6 etc.). */
+Workload makeAdder(uint32_t bits);
+
+/** @p bits x bits multiply (Mult-32). */
+Workload makeMultiplier(uint32_t bits);
+
+/** d x d matrix multiply at @p width bits (5x5Matx-8, 3x3Matx-16). */
+Workload makeSmallMatMult(uint32_t d, uint32_t width);
+
+/** AES-128: garbler key, evaluator plaintext block, output ciphertext. */
+Workload makeAes128();
+
+} // namespace haac
+
+#endif // HAAC_WORKLOADS_PRIORWORK_H

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for the crypto substrate: AES-128 against FIPS-197
+ * vectors, label algebra, PRG determinism, and the Half-Gate hashes.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crypto/aes128.h"
+#include "crypto/hash.h"
+#include "crypto/label.h"
+#include "crypto/prg.h"
+
+namespace haac {
+namespace {
+
+std::array<uint8_t, 16>
+fromHex(const std::string &hex)
+{
+    std::array<uint8_t, 16> out{};
+    for (size_t i = 0; i < 16; ++i)
+        out[i] = uint8_t(std::stoul(hex.substr(2 * i, 2), nullptr, 16));
+    return out;
+}
+
+TEST(Aes128, Fips197AppendixCVector)
+{
+    const auto key = fromHex("000102030405060708090a0b0c0d0e0f");
+    const auto pt = fromHex("00112233445566778899aabbccddeeff");
+    const auto want = fromHex("69c4e0d86a7b0430d8cdb78070b4c55a");
+    Aes128 aes(key.data());
+    uint8_t ct[16];
+    aes.encryptBlock(pt.data(), ct);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(ct[i], want[i]) << "byte " << i;
+}
+
+TEST(Aes128, Fips197AppendixBVector)
+{
+    const auto key = fromHex("2b7e151628aed2a6abf7158809cf4f3c");
+    const auto pt = fromHex("3243f6a8885a308d313198a2e0370734");
+    const auto want = fromHex("3925841d02dc09fbdc118597196a0b32");
+    Aes128 aes(key.data());
+    uint8_t ct[16];
+    aes.encryptBlock(pt.data(), ct);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(ct[i], want[i]) << "byte " << i;
+}
+
+TEST(Aes128, KeyScheduleFirstExpansionWord)
+{
+    // FIPS-197 Appendix A.1: w4 = a0fafe17 for the Appendix B key.
+    const auto key = fromHex("2b7e151628aed2a6abf7158809cf4f3c");
+    Aes128 aes(key.data());
+    const auto &rk = aes.roundKeys();
+    EXPECT_EQ(rk[16], 0xa0);
+    EXPECT_EQ(rk[17], 0xfa);
+    EXPECT_EQ(rk[18], 0xfe);
+    EXPECT_EQ(rk[19], 0x17);
+}
+
+TEST(Aes128, EncryptIsDeterministicAndKeyDependent)
+{
+    const auto key1 = fromHex("000102030405060708090a0b0c0d0e0f");
+    const auto key2 = fromHex("000102030405060708090a0b0c0d0e1f");
+    Aes128 a(key1.data()), b(key1.data()), c(key2.data());
+    Label x(0x1234, 0x5678);
+    EXPECT_EQ(a.encryptBlock(x), b.encryptBlock(x));
+    EXPECT_NE(a.encryptBlock(x), c.encryptBlock(x));
+}
+
+TEST(Aes128, LabelConstructorMatchesByteConstructor)
+{
+    Label key(0x0706050403020100ull, 0x0f0e0d0c0b0a0908ull);
+    uint8_t bytes[16];
+    key.toBytes(bytes);
+    Aes128 a(key), b(bytes);
+    Label x(42, 43);
+    EXPECT_EQ(a.encryptBlock(x), b.encryptBlock(x));
+}
+
+TEST(Label, XorAlgebra)
+{
+    Label a(0xdeadbeef, 0xfeedface);
+    Label b(0x12345678, 0x9abcdef0);
+    EXPECT_EQ(a ^ b, b ^ a);
+    EXPECT_EQ((a ^ b) ^ b, a);
+    EXPECT_TRUE((a ^ a).isZero());
+}
+
+TEST(Label, LsbManipulation)
+{
+    Label a(0x2, 0x0);
+    EXPECT_FALSE(a.lsb());
+    a.setLsb(true);
+    EXPECT_TRUE(a.lsb());
+    EXPECT_EQ(a.lo, 0x3u);
+    a.setLsb(false);
+    EXPECT_EQ(a.lo, 0x2u);
+}
+
+TEST(Label, ByteRoundTrip)
+{
+    Label a(0x1122334455667788ull, 0x99aabbccddeeff00ull);
+    uint8_t buf[16];
+    a.toBytes(buf);
+    EXPECT_EQ(Label::fromBytes(buf), a);
+}
+
+TEST(Label, HexFormat)
+{
+    Label a(0x1ull, 0x0ull);
+    EXPECT_EQ(a.toHex(),
+              "00000000000000000000000000000001");
+}
+
+TEST(Prg, DeterministicPerSeed)
+{
+    Prg a(123), b(123), c(124);
+    for (int i = 0; i < 32; ++i) {
+        Label la = a.nextLabel();
+        EXPECT_EQ(la, b.nextLabel());
+        EXPECT_NE(la, c.nextLabel());
+    }
+}
+
+TEST(Prg, LabelsLookRandom)
+{
+    Prg prg(7);
+    std::set<uint64_t> seen;
+    int ones = 0;
+    for (int i = 0; i < 256; ++i) {
+        Label l = prg.nextLabel();
+        seen.insert(l.lo);
+        ones += int(l.lo & 1);
+    }
+    EXPECT_EQ(seen.size(), 256u);
+    EXPECT_GT(ones, 80);
+    EXPECT_LT(ones, 176);
+}
+
+TEST(Prg, RangeIsUnbiasedBounds)
+{
+    Prg prg(9);
+    for (int i = 0; i < 1000; ++i) {
+        uint64_t v = prg.nextRange(10);
+        EXPECT_LT(v, 10u);
+    }
+}
+
+TEST(HalfGateHash, RekeyedMatchesHasherObject)
+{
+    Label x(0xabc, 0xdef);
+    for (uint64_t tweak : {0ull, 1ull, 77ull, 1ull << 40}) {
+        RekeyedHasher h(tweak);
+        EXPECT_EQ(h(x), hashRekeyed(x, tweak));
+    }
+}
+
+TEST(HalfGateHash, TweakSeparatesOutputs)
+{
+    Label x(1, 2);
+    EXPECT_NE(hashRekeyed(x, 0), hashRekeyed(x, 1));
+    EXPECT_NE(hashRekeyed(x, 2), hashRekeyed(x, 3));
+}
+
+TEST(HalfGateHash, InputSeparatesOutputs)
+{
+    Label x(1, 2), y(1, 3);
+    EXPECT_NE(hashRekeyed(x, 5), hashRekeyed(y, 5));
+}
+
+TEST(HalfGateHash, FixedKeyDiffersFromRekeyed)
+{
+    FixedKeyHasher fixed;
+    Label x(11, 22);
+    EXPECT_NE(fixed(x, 3), hashRekeyed(x, 3));
+    EXPECT_EQ(fixed(x, 3), fixed(x, 3));
+    EXPECT_NE(fixed(x, 3), fixed(x, 4));
+}
+
+} // namespace
+} // namespace haac

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Float32 tests: the circuit is bit-exact against the SoftFloat host
+ * model, and the host model stays within rounding distance of native
+ * IEEE floats.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/builder.h"
+#include "circuit/float32.h"
+#include "crypto/prg.h"
+
+namespace haac {
+namespace {
+
+uint64_t
+evalFloatBinary(Bits (*op)(CircuitBuilder &, const Bits &, const Bits &),
+                uint32_t a, uint32_t b)
+{
+    CircuitBuilder cb;
+    Bits wa = cb.garblerInputs(32);
+    Bits wb = cb.evaluatorInputs(32);
+    cb.addOutputs(op(cb, wa, wb));
+    Netlist nl = cb.build();
+    return bitsToU64(nl.evaluate(u64ToBits(a, 32), u64ToBits(b, 32)));
+}
+
+float
+ulpOf(float x)
+{
+    const float ax = std::fabs(x);
+    return std::max(std::ldexp(1.0f, int(std::ilogb(ax)) - 23),
+                    std::ldexp(1.0f, -126));
+}
+
+TEST(SoftFloat, MulMatchesNativeWithinUlp)
+{
+    Prg prg(31);
+    for (int i = 0; i < 500; ++i) {
+        const float a = float(int64_t(prg.nextU64() % 4000) - 2000) /
+                        37.0f;
+        const float b = float(int64_t(prg.nextU64() % 4000) - 2000) /
+                        53.0f;
+        const float got =
+            bitsFromFloat(sfMul(floatToBits(a), floatToBits(b)));
+        const float want = a * b;
+        EXPECT_LE(std::fabs(got - want), 2 * ulpOf(want))
+            << a << " * " << b;
+    }
+}
+
+TEST(SoftFloat, AddMatchesNativeWithinUlp)
+{
+    Prg prg(32);
+    for (int i = 0; i < 500; ++i) {
+        const float a = float(int64_t(prg.nextU64() % 100000) - 50000) /
+                        129.0f;
+        const float b = float(int64_t(prg.nextU64() % 100000) - 50000) /
+                        65.0f;
+        const float got =
+            bitsFromFloat(sfAdd(floatToBits(a), floatToBits(b)));
+        const float want = a + b;
+        EXPECT_LE(std::fabs(got - want),
+                  4 * std::max(ulpOf(want), ulpOf(a) + ulpOf(b)))
+            << a << " + " << b;
+    }
+}
+
+TEST(SoftFloat, IdentitiesAndSpecialCases)
+{
+    const uint32_t one = floatToBits(1.0f);
+    const uint32_t two = floatToBits(2.0f);
+    const uint32_t zero = floatToBits(0.0f);
+    EXPECT_EQ(sfMul(one, two), two);
+    EXPECT_EQ(sfAdd(zero, two), two);
+    EXPECT_EQ(sfAdd(two, zero), two);
+    EXPECT_EQ(sfMul(zero, two), zero);
+    EXPECT_EQ(sfSub(two, two) & 0x7fffffffu, 0u); // exact cancel
+    // x - (-x) doubles.
+    const uint32_t neg_two = floatToBits(-2.0f);
+    EXPECT_EQ(sfSub(two, neg_two), floatToBits(4.0f));
+}
+
+TEST(SoftFloat, PowerOfTwoArithmeticIsExact)
+{
+    for (int ea = -10; ea <= 10; ea += 3) {
+        for (int eb = -10; eb <= 10; eb += 4) {
+            const float a = std::ldexp(1.0f, ea);
+            const float b = std::ldexp(1.0f, eb);
+            EXPECT_EQ(bitsFromFloat(sfMul(floatToBits(a),
+                                          floatToBits(b))),
+                      a * b);
+            EXPECT_EQ(bitsFromFloat(sfAdd(floatToBits(a),
+                                          floatToBits(b))),
+                      a + b);
+        }
+    }
+}
+
+TEST(SoftFloat, SubnormalsFlushToZero)
+{
+    const uint32_t subnormal = 0x00000001;
+    const uint32_t one = floatToBits(1.0f);
+    EXPECT_EQ(sfAdd(subnormal, one), one);
+    EXPECT_EQ(sfMul(subnormal, one) & 0x7fffffffu, 0u);
+}
+
+TEST(SoftFloat, OverflowSaturates)
+{
+    const uint32_t big = floatToBits(3e38f);
+    const uint32_t sat = sfMul(big, big);
+    EXPECT_EQ((sat >> 23) & 0xff, 254u);
+    EXPECT_EQ(sat & 0x7fffff, 0x7fffffu);
+}
+
+class FloatCircuitRandom : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(FloatCircuitRandom, MulBitExactVsSoftFloat)
+{
+    Prg prg(GetParam());
+    for (int i = 0; i < 3; ++i) {
+        const float a = float(int64_t(prg.nextU64() % 2000) - 1000) /
+                        17.0f;
+        const float b = float(int64_t(prg.nextU64() % 2000) - 1000) /
+                        23.0f;
+        const uint32_t ab = floatToBits(a), bb = floatToBits(b);
+        EXPECT_EQ(evalFloatBinary(floatMulCircuit, ab, bb),
+                  sfMul(ab, bb))
+            << a << " * " << b;
+    }
+}
+
+TEST_P(FloatCircuitRandom, AddBitExactVsSoftFloat)
+{
+    Prg prg(GetParam() ^ 0xf00d);
+    for (int i = 0; i < 3; ++i) {
+        const float a = float(int64_t(prg.nextU64() % 2000) - 1000) /
+                        11.0f;
+        const float b = float(int64_t(prg.nextU64() % 2000) - 1000) /
+                        3.0f;
+        const uint32_t ab = floatToBits(a), bb = floatToBits(b);
+        EXPECT_EQ(evalFloatBinary(floatAddCircuit, ab, bb),
+                  sfAdd(ab, bb))
+            << a << " + " << b;
+    }
+}
+
+TEST_P(FloatCircuitRandom, SubBitExactVsSoftFloat)
+{
+    Prg prg(GetParam() ^ 0xbeef);
+    for (int i = 0; i < 3; ++i) {
+        const float a = float(int64_t(prg.nextU64() % 2000) - 1000) /
+                        7.0f;
+        const float b = float(int64_t(prg.nextU64() % 2000) - 1000) /
+                        13.0f;
+        const uint32_t ab = floatToBits(a), bb = floatToBits(b);
+        EXPECT_EQ(evalFloatBinary(floatSubCircuit, ab, bb),
+                  sfSub(ab, bb))
+            << a << " - " << b;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FloatCircuitRandom,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(FloatCircuit, SpecialCasesBitExact)
+{
+    const uint32_t cases[] = {
+        floatToBits(0.0f),  floatToBits(-0.0f), floatToBits(1.0f),
+        floatToBits(-1.0f), floatToBits(0.5f),  floatToBits(2.0f),
+        floatToBits(1.5f),  floatToBits(-2.5f), floatToBits(1e-20f),
+        floatToBits(1e20f),
+    };
+    for (uint32_t a : cases) {
+        for (uint32_t b : cases) {
+            EXPECT_EQ(evalFloatBinary(floatAddCircuit, a, b),
+                      sfAdd(a, b))
+                << std::hex << a << " + " << b;
+            EXPECT_EQ(evalFloatBinary(floatMulCircuit, a, b),
+                      sfMul(a, b))
+                << std::hex << a << " * " << b;
+        }
+    }
+}
+
+TEST(SoftFloat, IntConversionsRoundTrip)
+{
+    for (int32_t v : {0, 1, -1, 7, -42, 1 << 20, -(1 << 20),
+                      INT32_MAX, INT32_MIN, 123456789}) {
+        const uint32_t f = sfFromInt32(v);
+        if (v == 0) {
+            EXPECT_EQ(f, 0u);
+            continue;
+        }
+        // Converting back truncates at most 8 low bits of precision.
+        const int64_t back = sfToInt32(f);
+        const int64_t err = std::abs(int64_t(v) - back);
+        EXPECT_LE(err, std::abs(int64_t(v)) >> 23);
+        // Exact for small magnitudes.
+        if (std::abs(int64_t(v)) < (1 << 24)) {
+            EXPECT_EQ(back, v);
+        }
+    }
+}
+
+TEST(SoftFloat, FromInt32MatchesNativeCast)
+{
+    for (int32_t v : {1, -1, 3, 1000, -70000, (1 << 24) - 1}) {
+        EXPECT_EQ(sfFromInt32(v), floatToBits(float(v))) << v;
+    }
+}
+
+TEST(SoftFloat, ToInt32Truncates)
+{
+    EXPECT_EQ(sfToInt32(floatToBits(2.9f)), 2);
+    EXPECT_EQ(sfToInt32(floatToBits(-2.9f)), -2);
+    EXPECT_EQ(sfToInt32(floatToBits(0.99f)), 0);
+    EXPECT_EQ(sfToInt32(floatToBits(-0.5f)), 0);
+    EXPECT_EQ(sfToInt32(floatToBits(1e20f)), INT32_MAX);
+    EXPECT_EQ(sfToInt32(floatToBits(-1e20f)), INT32_MIN);
+}
+
+TEST(SoftFloat, LessMatchesNative)
+{
+    const float vals[] = {-3.5f, -1.0f, -0.0f, 0.0f, 0.25f, 1.0f,
+                          2.5f,  1e10f, -1e10f};
+    for (float a : vals) {
+        for (float b : vals) {
+            EXPECT_EQ(sfLess(floatToBits(a), floatToBits(b)), a < b)
+                << a << " < " << b;
+        }
+    }
+}
+
+TEST(FloatCircuit, IntToFloatBitExact)
+{
+    for (int32_t v : {0, 1, -1, 255, -256, 99999, -123456789,
+                      INT32_MAX, INT32_MIN}) {
+        CircuitBuilder cb;
+        Bits w = cb.garblerInputs(32);
+        cb.addOutputs(intToFloatCircuit(cb, w));
+        Netlist nl = cb.build();
+        const uint64_t got =
+            bitsToU64(nl.evaluate(u64ToBits(uint32_t(v), 32), {}));
+        EXPECT_EQ(got, sfFromInt32(v)) << v;
+    }
+}
+
+TEST(FloatCircuit, FloatToIntBitExact)
+{
+    for (float v : {0.0f, 1.0f, -1.0f, 2.9f, -2.9f, 0.4f, 1234.75f,
+                    -87654.0f, 3e9f, -3e9f, 1e20f}) {
+        CircuitBuilder cb;
+        Bits w = cb.garblerInputs(32);
+        cb.addOutputs(floatToIntCircuit(cb, w));
+        Netlist nl = cb.build();
+        const uint32_t fb = floatToBits(v);
+        const uint64_t got =
+            bitsToU64(nl.evaluate(u64ToBits(fb, 32), {}));
+        EXPECT_EQ(int32_t(got), sfToInt32(fb)) << v;
+    }
+}
+
+TEST(FloatCircuit, LessBitExact)
+{
+    const float vals[] = {-7.5f, -1.0f, 0.0f, -0.0f, 0.5f, 1.0f,
+                          33.25f};
+    for (float a : vals) {
+        for (float b : vals) {
+            CircuitBuilder cb;
+            Bits wa = cb.garblerInputs(32);
+            Bits wb = cb.evaluatorInputs(32);
+            cb.addOutput(floatLessCircuit(cb, wa, wb));
+            Netlist nl = cb.build();
+            const bool got =
+                nl.evaluate(u64ToBits(floatToBits(a), 32),
+                            u64ToBits(floatToBits(b), 32))[0];
+            EXPECT_EQ(got, sfLess(floatToBits(a), floatToBits(b)))
+                << a << " < " << b;
+        }
+    }
+}
+
+TEST(FloatCircuit, CancellationBitExact)
+{
+    // Subtraction of nearly equal values exercises the normalizer.
+    const float pairs[][2] = {
+        {1.0000001f, 1.0f}, {1024.5f, 1024.25f}, {3.14159f, 3.14158f},
+    };
+    for (const auto &p : pairs) {
+        const uint32_t a = floatToBits(p[0]), b = floatToBits(p[1]);
+        EXPECT_EQ(evalFloatBinary(floatSubCircuit, a, b), sfSub(a, b));
+        EXPECT_EQ(evalFloatBinary(floatSubCircuit, b, a), sfSub(b, a));
+    }
+}
+
+} // namespace
+} // namespace haac

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * HAAC ISA tests: assembly from netlists, NOT lowering, the implicit
+ * output-address invariant, and instruction encode/decode round-trips.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "circuit/builder.h"
+#include "circuit/stdlib.h"
+#include "core/isa/disasm.h"
+#include "core/isa/program.h"
+
+namespace haac {
+namespace {
+
+Netlist
+smallCircuit()
+{
+    CircuitBuilder cb;
+    Bits a = cb.garblerInputs(4);
+    Bits b = cb.evaluatorInputs(4);
+    Bits sum = addBits(cb, a, b);
+    Bits na = notBits(cb, a);
+    cb.addOutputs(sum);
+    cb.addOutputs(andBits(cb, na, b));
+    return cb.build();
+}
+
+TEST(Assemble, PreservesCountsAndOutputs)
+{
+    Netlist nl = smallCircuit();
+    HaacProgram prog = assemble(nl);
+    EXPECT_EQ(prog.instrs.size(), nl.numGates());
+    EXPECT_EQ(prog.numInputs, nl.numInputs());
+    EXPECT_EQ(prog.outputs.size(), nl.outputs.size());
+    EXPECT_EQ(prog.check(), "");
+    EXPECT_EQ(prog.numAnd(), nl.numAndGates());
+}
+
+TEST(Assemble, XorWithConstOneBecomesNot)
+{
+    CircuitBuilder cb;
+    Wire a = cb.garblerInput();
+    cb.addOutput(cb.notGate(a));
+    Netlist nl = cb.build();
+    HaacProgram prog = assemble(nl);
+    ASSERT_EQ(prog.instrs.size(), 1u);
+    EXPECT_EQ(prog.instrs[0].op, HaacOp::Not);
+    EXPECT_EQ(prog.instrs[0].a, a + 1);
+    EXPECT_EQ(prog.numNot(), 1u);
+}
+
+TEST(Assemble, AddressesAreShiftedByOne)
+{
+    // Address 0 is the OoRW sentinel; netlist wire w maps to w+1.
+    CircuitBuilder cb;
+    Wire a = cb.garblerInput();
+    Wire b = cb.evaluatorInput();
+    cb.addOutput(cb.andGate(a, b));
+    Netlist nl = cb.build();
+    HaacProgram prog = assemble(nl);
+    EXPECT_EQ(prog.instrs[0].a, 1u);
+    EXPECT_EQ(prog.instrs[0].b, 2u);
+    EXPECT_EQ(prog.outputAddrOf(0), prog.numInputs + 1);
+}
+
+TEST(Assemble, TweaksFollowAndOrder)
+{
+    CircuitBuilder cb;
+    Wire a = cb.garblerInput();
+    Wire b = cb.evaluatorInput();
+    Wire x = cb.andGate(a, b);
+    Wire y = cb.xorGate(x, a);
+    Wire z = cb.andGate(y, x);
+    cb.addOutput(z);
+    Netlist nl = cb.build();
+    HaacProgram prog = assemble(nl);
+    std::vector<uint32_t> tweaks;
+    for (const auto &ins : prog.instrs)
+        if (ins.op == HaacOp::And)
+            tweaks.push_back(ins.tweak);
+    EXPECT_EQ(tweaks, (std::vector<uint32_t>{0, 1}));
+}
+
+TEST(ProgramCheck, CatchesForwardReference)
+{
+    HaacProgram prog;
+    prog.numInputs = 2;
+    prog.instrs.push_back({HaacOp::And, 1, 9, true, 0}); // 9 undefined
+    EXPECT_NE(prog.check(), "");
+}
+
+TEST(ProgramCheck, CatchesSentinelOperand)
+{
+    HaacProgram prog;
+    prog.numInputs = 2;
+    prog.instrs.push_back({HaacOp::And, 0, 1, true, 0});
+    EXPECT_NE(prog.check(), "");
+}
+
+TEST(Encoding, BytesMatchPaperFor2MbSww)
+{
+    // §3.1.3: 2b op + 2x17b addresses + 1b live = 37b -> 5 bytes.
+    const uint32_t sww_wires = (2u * 1024 * 1024) / 16;
+    EXPECT_EQ(encodedInstrBytes(sww_wires), 5u);
+}
+
+TEST(Encoding, RoundTripAllOps)
+{
+    const uint32_t sww = 1024;
+    for (HaacOp op : {HaacOp::Nop, HaacOp::And, HaacOp::Xor,
+                      HaacOp::Not}) {
+        for (bool live : {false, true}) {
+            HaacInstruction ins;
+            ins.op = op;
+            ins.a = 517;
+            ins.b = 1023;
+            ins.live = live;
+            HaacInstruction dec = decodeInstr(encodeInstr(ins, sww), sww);
+            EXPECT_EQ(dec.op, op);
+            EXPECT_EQ(dec.a, 517u);
+            EXPECT_EQ(dec.b, 1023u);
+            EXPECT_EQ(dec.live, live);
+        }
+    }
+}
+
+TEST(Encoding, PhysicalAddressWraps)
+{
+    const uint32_t sww = 256;
+    HaacInstruction ins;
+    ins.op = HaacOp::Xor;
+    ins.a = 1000; // 1000 % 256 == 232
+    ins.b = 256;  // wraps to 0 (the OoRW slot alias is fine physically)
+    HaacInstruction dec = decodeInstr(encodeInstr(ins, sww), sww);
+    EXPECT_EQ(dec.a, 232u);
+    EXPECT_EQ(dec.b, 0u);
+}
+
+TEST(Disasm, InstructionFormatting)
+{
+    HaacInstruction and_ins{HaacOp::And, 12, 7, true, 4};
+    EXPECT_EQ(toString(and_ins, 19),
+              "AND w12, w7 -> w19 [live] (tweak 4)");
+    HaacInstruction not_ins{HaacOp::Not, 3, 3, false, 0};
+    EXPECT_EQ(toString(not_ins, 9), "NOT w3 -> w9");
+    HaacInstruction oor_ins{HaacOp::Xor, kOorAddr, 5, false, 0};
+    EXPECT_EQ(toString(oor_ins, 8), "XOR oorw, w5 -> w8");
+}
+
+TEST(Disasm, ProgramListing)
+{
+    Netlist nl = smallCircuit();
+    HaacProgram prog = assemble(nl);
+    std::ostringstream os;
+    disassemble(prog, os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("; inputs: w1..w"), std::string::npos);
+    EXPECT_NE(text.find("const 1"), std::string::npos);
+    EXPECT_NE(text.find("0:\t"), std::string::npos);
+    EXPECT_NE(text.find("; outputs:"), std::string::npos);
+
+    std::ostringstream truncated;
+    disassemble(prog, truncated, 2);
+    EXPECT_NE(truncated.str().find("more"), std::string::npos);
+}
+
+TEST(Disasm, OpNames)
+{
+    EXPECT_STREQ(opName(HaacOp::And), "AND");
+    EXPECT_STREQ(opName(HaacOp::Xor), "XOR");
+    EXPECT_STREQ(opName(HaacOp::Not), "NOT");
+    EXPECT_STREQ(opName(HaacOp::Nop), "NOP");
+}
+
+TEST(Program, OpCountsSum)
+{
+    Netlist nl = smallCircuit();
+    HaacProgram prog = assemble(nl);
+    EXPECT_EQ(prog.numAnd() + prog.numXor() + prog.numNot(),
+              prog.instrs.size());
+}
+
+} // namespace
+} // namespace haac

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Prior-work circuit tests: GF(2^8) arithmetic, the AES S-box against
+ * the FIPS table (all 256 entries), full AES-128 against the software
+ * implementation, and the small Table 5 workloads.
+ */
+#include <gtest/gtest.h>
+
+#include "circuit/builder.h"
+#include "workloads/priorwork.h"
+
+namespace haac {
+namespace {
+
+/** Native GF(2^8) multiply for cross-checking. */
+uint8_t
+gfMulRef(uint8_t a, uint8_t b)
+{
+    uint8_t p = 0;
+    for (int i = 0; i < 8; ++i) {
+        if (b & 1)
+            p ^= a;
+        const bool hi = a & 0x80;
+        a = uint8_t(a << 1);
+        if (hi)
+            a ^= 0x1b;
+        b >>= 1;
+    }
+    return p;
+}
+
+uint8_t
+evalByteUnary(Bits (*op)(CircuitBuilder &, const Bits &), uint8_t x)
+{
+    CircuitBuilder cb;
+    Bits a = cb.garblerInputs(8);
+    cb.addOutputs(op(cb, a));
+    Netlist nl = cb.build();
+    return uint8_t(bitsToU64(nl.evaluate(u64ToBits(x, 8), {})));
+}
+
+TEST(Gf256, MulMatchesReference)
+{
+    CircuitBuilder cb;
+    Bits a = cb.garblerInputs(8);
+    Bits b = cb.evaluatorInputs(8);
+    cb.addOutputs(gfMul(cb, a, b));
+    Netlist nl = cb.build();
+    for (uint32_t x : {0u, 1u, 2u, 3u, 0x53u, 0xcau, 0xffu}) {
+        for (uint32_t y : {0u, 1u, 2u, 0x53u, 0xcau, 0xffu}) {
+            auto out = nl.evaluate(u64ToBits(x, 8), u64ToBits(y, 8));
+            EXPECT_EQ(bitsToU64(out),
+                      gfMulRef(uint8_t(x), uint8_t(y)))
+                << x << "*" << y;
+        }
+    }
+}
+
+TEST(Gf256, SquareIsSelfMultiply)
+{
+    for (uint32_t x = 0; x < 256; x += 7) {
+        EXPECT_EQ(evalByteUnary(gfSquare, uint8_t(x)),
+                  gfMulRef(uint8_t(x), uint8_t(x)));
+    }
+}
+
+TEST(Gf256, InverseTimesSelfIsOne)
+{
+    for (uint32_t x : {1u, 2u, 3u, 0x53u, 0x8fu, 0xffu}) {
+        const uint8_t inv = evalByteUnary(gfInverse, uint8_t(x));
+        EXPECT_EQ(gfMulRef(uint8_t(x), inv), 1) << "x=" << x;
+    }
+    EXPECT_EQ(evalByteUnary(gfInverse, 0), 0); // AES convention
+}
+
+TEST(AesCircuit, SboxMatchesFipsTableAllEntries)
+{
+    // Known anchors plus a full sweep via one shared circuit.
+    CircuitBuilder cb;
+    Bits x = cb.garblerInputs(8);
+    cb.addOutputs(aesSbox(cb, x));
+    Netlist nl = cb.build();
+
+    // FIPS S-box spot anchors.
+    const std::pair<uint8_t, uint8_t> anchors[] = {
+        {0x00, 0x63}, {0x01, 0x7c}, {0x53, 0xed}, {0xff, 0x16},
+    };
+    for (auto [in, want] : anchors)
+        EXPECT_EQ(bitsToU64(nl.evaluate(u64ToBits(in, 8), {})), want);
+
+    // Full 256-entry sweep against the software AES S-box via an
+    // encryption of a chosen block is covered by Aes128RoundTrip; here
+    // sweep the standalone S-box against the reference polynomial
+    // construction: sbox(x) = affine(inv(x)).
+    for (uint32_t v = 0; v < 256; ++v) {
+        uint8_t inv = 0;
+        if (v != 0) {
+            for (uint32_t c = 1; c < 256; ++c) {
+                if (gfMulRef(uint8_t(v), uint8_t(c)) == 1) {
+                    inv = uint8_t(c);
+                    break;
+                }
+            }
+        }
+        uint8_t want = 0;
+        for (int i = 0; i < 8; ++i) {
+            const int bit = ((inv >> i) ^ (inv >> ((i + 4) % 8)) ^
+                             (inv >> ((i + 5) % 8)) ^
+                             (inv >> ((i + 6) % 8)) ^
+                             (inv >> ((i + 7) % 8)) ^ (0x63 >> i)) &
+                            1;
+            want |= uint8_t(bit << i);
+        }
+        EXPECT_EQ(bitsToU64(nl.evaluate(u64ToBits(v, 8), {})), want)
+            << "x=" << v;
+    }
+}
+
+TEST(AesCircuit, EncryptionMatchesSoftwareAes)
+{
+    Workload wl = makeAes128();
+    ASSERT_EQ(wl.netlist.check(), "");
+    auto out = wl.netlist.evaluate(wl.garblerBits, wl.evaluatorBits);
+    EXPECT_EQ(out, wl.expectedOutputs);
+}
+
+TEST(AesCircuit, IsAndDense)
+{
+    Workload wl = makeAes128();
+    // S-boxes dominate; the circuit must be large and AND-heavy.
+    EXPECT_GT(wl.netlist.numGates(), 20000u);
+    EXPECT_GT(wl.netlist.andPercent(), 15.0);
+}
+
+TEST(PriorWork, Millionaire)
+{
+    Workload wl = makeMillionaire(8);
+    auto out = wl.netlist.evaluate(wl.garblerBits, wl.evaluatorBits);
+    EXPECT_EQ(out, wl.expectedOutputs);
+    // Direct checks.
+    EXPECT_TRUE(wl.netlist
+                    .evaluate(u64ToBits(200, 8), u64ToBits(100, 8))[0]);
+    EXPECT_FALSE(wl.netlist
+                     .evaluate(u64ToBits(100, 8), u64ToBits(200, 8))[0]);
+    EXPECT_FALSE(
+        wl.netlist.evaluate(u64ToBits(7, 8), u64ToBits(7, 8))[0]);
+}
+
+TEST(PriorWork, AdderAndMultiplier)
+{
+    Workload add = makeAdder(6);
+    EXPECT_EQ(add.netlist.evaluate(add.garblerBits,
+                                   add.evaluatorBits),
+              add.expectedOutputs);
+    Workload mul = makeMultiplier(32);
+    EXPECT_EQ(mul.netlist.evaluate(mul.garblerBits,
+                                   mul.evaluatorBits),
+              mul.expectedOutputs);
+    // The full 64-bit product is produced.
+    EXPECT_EQ(mul.netlist.outputs.size(), 64u);
+}
+
+TEST(PriorWork, SmallMatMults)
+{
+    for (auto [d, w] : {std::pair<uint32_t, uint32_t>{5, 8}, {3, 16}}) {
+        Workload wl = makeSmallMatMult(d, w);
+        EXPECT_EQ(wl.netlist.evaluate(wl.garblerBits,
+                                      wl.evaluatorBits),
+                  wl.expectedOutputs)
+            << wl.name;
+    }
+}
+
+TEST(PriorWork, MillionaireMatchesFaseScale)
+{
+    // FASE's Million-8 is tiny (tens of gates); ours must be too.
+    Workload wl = makeMillionaire(8);
+    EXPECT_LT(wl.netlist.numGates(), 64u);
+}
+
+} // namespace
+} // namespace haac
