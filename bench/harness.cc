@@ -20,12 +20,16 @@ parseArgs(int argc, char **argv, const char *what)
             opts.paperScale = true;
         } else if (arg.rfind("--only=", 0) == 0) {
             opts.only = arg.substr(7);
+        } else if (arg == "--csv") {
+            setReportFormat(ReportFormat::Csv);
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "%s\n\nflags:\n"
                 "  --paper-scale   use the paper's input sizes "
                 "(slower)\n"
-                "  --only=<name>   run a single Table 2 benchmark\n",
+                "  --only=<name>   run a single Table 2 benchmark\n"
+                "  --csv           emit tables as CSV rows instead of "
+                "aligned text\n",
                 what);
             std::exit(0);
         } else if (arg.rfind("--benchmark", 0) == 0) {

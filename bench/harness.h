@@ -27,7 +27,10 @@ struct Options
     std::string only;
 };
 
-/** Parse --paper-scale / --only=<name>; exits on --help. */
+/**
+ * Parse --paper-scale / --only=<name> / --csv; exits on --help.
+ * --csv applies process-wide via setReportFormat().
+ */
 Options parseArgs(int argc, char **argv, const char *what);
 
 /** The paper's default accelerator (16 GEs, 2 MB SWW, DDR4, Eval). */

@@ -45,6 +45,13 @@ main(int argc, char **argv)
                                      u64ToBits(bob, 32));
     std::printf("secure result: Alice %s richer than Bob\n",
                 res.outputs[0] ? "is" : "is not");
+    if (res.outputs[0] != (bob < alice)) {
+        std::fprintf(stderr,
+                     "MISMATCH: secure result disagrees with plaintext "
+                     "(expected %d)\n",
+                     bob < alice ? 1 : 0);
+        return 1;
+    }
     std::printf("communication: %zu bytes (%zu table bytes)\n",
                 res.totalBytes, res.tableBytes);
 

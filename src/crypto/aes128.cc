@@ -2,6 +2,10 @@
 
 #include <cstring>
 
+#if defined(HAAC_USE_AESNI)
+#include <wmmintrin.h>
+#endif
+
 namespace haac {
 
 namespace {
@@ -130,6 +134,30 @@ Aes128::Aes128(const Label &key)
 void
 Aes128::encryptBlock(const uint8_t in[16], uint8_t out[16]) const
 {
+#if defined(HAAC_USE_AESNI)
+    // Compiled with -maes, but the binary may land on an x86 CPU
+    // without the extension — dispatch on CPUID once per process.
+    static const bool have_aesni = __builtin_cpu_supports("aes") &&
+                                   __builtin_cpu_supports("sse2");
+    if (have_aesni) {
+        // The 176-byte schedule is stored in FIPS-197 byte order, which
+        // is exactly what AESENC expects from an unaligned load.
+        __m128i state =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(in));
+        state = _mm_xor_si128(
+            state, _mm_loadu_si128(reinterpret_cast<const __m128i *>(
+                       roundKeys_.data())));
+        for (int round = 1; round < kAesRounds; ++round)
+            state = _mm_aesenc_si128(
+                state, _mm_loadu_si128(reinterpret_cast<const __m128i *>(
+                           roundKeys_.data() + 16 * round)));
+        state = _mm_aesenclast_si128(
+            state, _mm_loadu_si128(reinterpret_cast<const __m128i *>(
+                       roundKeys_.data() + 16 * kAesRounds)));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out), state);
+        return;
+    }
+#endif
     uint8_t s[16];
     std::memcpy(s, in, 16);
     addRoundKey(s, roundKeys_.data());

@@ -8,6 +8,40 @@
 
 namespace haac {
 
+namespace {
+
+ReportFormat g_format = ReportFormat::Table;
+
+/** RFC-4180 quoting: wrap when a cell holds a comma, quote or newline. */
+std::string
+csvCell(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string quoted = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            quoted += '"';
+        quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+} // namespace
+
+void
+setReportFormat(ReportFormat format)
+{
+    g_format = format;
+}
+
+ReportFormat
+reportFormat()
+{
+    return g_format;
+}
+
 Report::Report(std::vector<std::string> headers)
     : headers_(std::move(headers))
 {
@@ -22,6 +56,28 @@ Report::addRow(std::vector<std::string> cells)
 
 void
 Report::print(std::ostream &os) const
+{
+    if (g_format == ReportFormat::Csv)
+        printCsv(os);
+    else
+        printTable(os);
+}
+
+void
+Report::printCsv(std::ostream &os) const
+{
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c)
+            os << (c == 0 ? "" : ",") << csvCell(cells[c]);
+        os << '\n';
+    };
+    line(headers_);
+    for (const auto &row : rows_)
+        line(row);
+}
+
+void
+Report::printTable(std::ostream &os) const
 {
     std::vector<size_t> widths(headers_.size());
     for (size_t c = 0; c < headers_.size(); ++c)

@@ -12,6 +12,17 @@
 
 namespace haac {
 
+/** How Report::print renders: aligned text or machine-readable CSV. */
+enum class ReportFormat
+{
+    Table,
+    Csv,
+};
+
+/** Process-wide output format (bench --csv flips this). */
+void setReportFormat(ReportFormat format);
+ReportFormat reportFormat();
+
 /** A simple right-aligned column table. */
 class Report
 {
@@ -19,7 +30,10 @@ class Report
     explicit Report(std::vector<std::string> headers);
 
     void addRow(std::vector<std::string> cells);
+    /** Render in the process-wide ReportFormat. */
     void print(std::ostream &os) const;
+    void printTable(std::ostream &os) const;
+    void printCsv(std::ostream &os) const;
 
   private:
     std::vector<std::string> headers_;
