@@ -43,22 +43,28 @@ accumulator(bool kogge, uint32_t terms, uint32_t width)
 }
 
 void
-runRow(Report &table, const char *label, const Workload &wl,
-       double cpu_gates_per_s)
+runRow(Report &table, RunLog &log, const char *label,
+       const Workload &wl, double cpu_gates_per_s)
 {
     HaacConfig cfg = defaultConfig();
     CompileOptions opts;
     opts.reorder = ReorderKind::Full;
-    RunResult run = runPipeline(wl, cfg, opts);
-    DependenceGraph g(assemble(wl.netlist));
+    Session session(wl);
+    RunReport run = session.withConfig(cfg)
+                        .withCompileOptions(opts)
+                        .withLabel(label)
+                        .withOutputs(false)
+                        .runHaacSim();
+    log.add(run);
+    DependenceGraph g(session.assembled());
     const double cpu_us =
         double(wl.netlist.numGates()) / cpu_gates_per_s * 1e6;
     table.addRow({label, std::to_string(wl.netlist.numGates()),
                   std::to_string(wl.netlist.numAndGates()),
                   std::to_string(g.numLevels()),
-                  fmt(double(run.stats.cycles) / 1000.0, 1),
+                  fmt(double(run.sim.cycles) / 1000.0, 1),
                   fmt(cpu_us, 1),
-                  fmt(cpu_us / (run.stats.seconds() * 1e6), 0)});
+                  fmt(cpu_us / (run.sim.seconds() * 1e6), 0)});
 }
 
 } // namespace
@@ -66,22 +72,25 @@ runRow(Report &table, const char *label, const Workload &wl,
 int
 main(int argc, char **argv)
 {
-    parseArgs(argc, argv, "Ablation: adder depth (circuit co-design)");
+    Options opts = parseArgs(
+        argc, argv, "Ablation: adder depth (circuit co-design)");
+    RunLog log(opts, "ablation_adder_depth");
 
     std::printf("== Ablation: ripple-carry vs Kogge-Stone circuits on "
                 "HAAC (16 GEs, 2MB SWW, DDR4, full reorder) ==\n\n");
 
     const double cpu_rate = cpuBaseline().evaluateGatesPerSecond;
     Report table({"Circuit", "Gates", "ANDs", "Levels", "HAAC kcyc",
-                  "CPU us", "HAAC speedup"});
+                  "CPU us", "HAAC speedup"},
+                 opts.format);
 
-    runRow(table, "acc-64x32 ripple", accumulator(false, 64, 32),
+    runRow(table, log, "acc-64x32 ripple", accumulator(false, 64, 32),
            cpu_rate);
-    runRow(table, "acc-64x32 kogge", accumulator(true, 64, 32),
+    runRow(table, log, "acc-64x32 kogge", accumulator(true, 64, 32),
            cpu_rate);
-    runRow(table, "editdist-24 ripple",
+    runRow(table, log, "editdist-24 ripple",
            makeEditDistance(24, 24, 2, false), cpu_rate);
-    runRow(table, "editdist-24 kogge",
+    runRow(table, log, "editdist-24 kogge",
            makeEditDistance(24, 24, 2, true), cpu_rate);
     table.print(std::cout);
 

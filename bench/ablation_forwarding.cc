@@ -17,13 +17,15 @@ int
 main(int argc, char **argv)
 {
     Options opts = parseArgs(argc, argv, "Ablation: forwarding network");
+    RunLog log(opts, "ablation_forwarding");
 
     std::printf("== Ablation: wire forwarding on/off (16 GEs, 2MB SWW, "
                 "DDR4, full reorder; %s scale) ==\n\n",
                 opts.paperScale ? "paper" : "default");
 
     Report table({"Benchmark", "Fwd ON (cyc)", "Fwd OFF (cyc)",
-                  "Slowdown", "FwdHits"});
+                  "Slowdown", "FwdHits"},
+                 opts.format);
     std::vector<double> slowdowns;
 
     for (const char *name : {"BubbSt", "DotProd", "Merse", "Triangle",
@@ -36,14 +38,16 @@ main(int argc, char **argv)
         off.forwarding = false;
         CompileOptions copts;
         copts.reorder = ReorderKind::Full;
-        RunResult r_on = runPipeline(wl, on, copts);
-        RunResult r_off = runPipeline(wl, off, copts);
+        RunReport r_on = runPipeline(wl, on, copts);
+        RunReport r_off = runPipeline(wl, off, copts);
+        log.add(r_on, "fwd-on");
+        log.add(r_off, "fwd-off");
         const double slow =
-            double(r_off.stats.cycles) / double(r_on.stats.cycles);
+            double(r_off.sim.cycles) / double(r_on.sim.cycles);
         slowdowns.push_back(slow);
-        table.addRow({name, std::to_string(r_on.stats.cycles),
-                      std::to_string(r_off.stats.cycles), fmt(slow, 3),
-                      std::to_string(r_on.stats.forwardHits)});
+        table.addRow({name, std::to_string(r_on.sim.cycles),
+                      std::to_string(r_off.sim.cycles), fmt(slow, 3),
+                      std::to_string(r_on.sim.forwardHits)});
     }
     table.print(std::cout);
     std::printf("\nGeomean slowdown without forwarding: %.3fx. The "

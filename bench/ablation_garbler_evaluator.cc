@@ -18,13 +18,15 @@ main(int argc, char **argv)
 {
     Options opts = parseArgs(argc, argv,
                              "Ablation: Garbler vs Evaluator");
+    RunLog log(opts, "ablation_garbler_evaluator");
 
     std::printf("== Ablation: Garbler vs Evaluator HAAC (16 GEs, 2MB "
                 "SWW, DDR4, full reorder; %s scale) ==\n\n",
                 opts.paperScale ? "paper" : "default");
 
     Report table({"Benchmark", "Evaluator (cyc)", "Garbler (cyc)",
-                  "Garbler slowdown %"});
+                  "Garbler slowdown %"},
+                 opts.format);
     double sum = 0;
     int n = 0;
 
@@ -38,15 +40,17 @@ main(int argc, char **argv)
         gb.role = Role::Garbler;
         CompileOptions copts;
         copts.reorder = ReorderKind::Full;
-        RunResult re = runPipeline(wl, ev, copts);
-        RunResult rg = runPipeline(wl, gb, copts);
-        const double pct = 100.0 * (double(rg.stats.cycles) /
-                                        double(re.stats.cycles) -
+        RunReport re = runPipeline(wl, ev, copts);
+        RunReport rg = runPipeline(wl, gb, copts);
+        log.add(re, "evaluator");
+        log.add(rg, "garbler");
+        const double pct = 100.0 * (double(rg.sim.cycles) /
+                                        double(re.sim.cycles) -
                                     1.0);
         sum += pct;
         ++n;
-        table.addRow({name, std::to_string(re.stats.cycles),
-                      std::to_string(rg.stats.cycles), fmt(pct, 2)});
+        table.addRow({name, std::to_string(re.sim.cycles),
+                      std::to_string(rg.sim.cycles), fmt(pct, 2)});
     }
     table.print(std::cout);
     std::printf("\nAverage Garbler slowdown: %.2f%% (paper: 0.67%%; "

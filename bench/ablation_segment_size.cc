@@ -26,7 +26,9 @@ main(int argc, char **argv)
                 opts.paperScale ? "paper" : "default");
 
     Report table({"Benchmark", "Segment", "Cycles", "LiveWires(k)",
-                  "OoRW(k)", "Slowdown vs SWW/2"});
+                  "OoRW(k)", "Slowdown vs SWW/2"},
+                 opts.format);
+    RunLog log(opts, "ablation_segment_size");
 
     for (const char *name : {"MatMult", "BubbSt", "DotProd"}) {
         if (!opts.only.empty() && opts.only != name)
@@ -42,14 +44,15 @@ main(int argc, char **argv)
             CompileOptions copts;
             copts.reorder = ReorderKind::Segment;
             copts.segmentSize = seg;
-            RunResult run = runPipeline(wl, cfg, copts);
+            RunReport run = runPipeline(wl, cfg, copts);
+            log.add(run, label);
             if (seg == half)
-                ref_cycles = double(run.stats.cycles);
+                ref_cycles = double(run.sim.cycles);
             table.addRow(
-                {name, label, std::to_string(run.stats.cycles),
+                {name, label, std::to_string(run.sim.cycles),
                  fmtKilo(double(run.compile.liveWires)),
                  fmtKilo(double(run.compile.oorReads)),
-                 fmt(double(run.stats.cycles) / ref_cycles, 3)});
+                 fmt(double(run.sim.cycles) / ref_cycles, 3)});
         }
     }
     table.print(std::cout);

@@ -23,7 +23,9 @@ main(int argc, char **argv)
                 opts.paperScale ? "paper" : "default");
 
     Report table({"Benchmark", "Banks/GE", "Cycles", "BankStalls",
-                  "Slowdown vs 4", "SWW+Xbar area (mm2)"});
+                  "Slowdown vs 4", "SWW+Xbar area (mm2)"},
+                 opts.format);
+    RunLog log(opts, "ablation_sww_banks");
 
     for (const char *name : {"Merse", "MatMult", "Triangle"}) {
         if (!opts.only.empty() && opts.only != name)
@@ -36,15 +38,16 @@ main(int argc, char **argv)
             cfg.banksPerGe = banks;
             CompileOptions copts;
             copts.reorder = ReorderKind::Full;
-            RunResult run = runPipeline(wl, cfg, copts);
+            RunReport run = runPipeline(wl, cfg, copts);
+            log.add(run, "banks=" + std::to_string(banks));
             if (banks == 4)
-                base_cycles = double(run.stats.cycles);
+                base_cycles = double(run.sim.cycles);
             AreaPowerBreakdown ap = modelAreaPower(cfg);
             table.addRow(
                 {name, std::to_string(banks),
-                 std::to_string(run.stats.cycles),
-                 std::to_string(run.stats.stallBank),
-                 fmt(double(run.stats.cycles) / base_cycles, 3),
+                 std::to_string(run.sim.cycles),
+                 std::to_string(run.sim.stallBank),
+                 fmt(double(run.sim.cycles) / base_cycles, 3),
                  fmt(ap.sww.areaMm2 + ap.crossbar.areaMm2, 3)});
         }
     }

@@ -17,13 +17,15 @@ main(int argc, char **argv)
 {
     Options opts = parseArgs(argc, argv,
                              "Figure 10: slowdown vs plaintext");
+    RunLog log(opts, "fig10_plaintext");
 
     std::printf("== Figure 10: slowdown vs plaintext (16 GEs, 2MB SWW, "
                 "best reordering; %s scale) ==\n\n",
                 opts.paperScale ? "paper" : "default");
 
     Report table({"Benchmark", "CPU GC", "HAAC DDR4", "HAAC HBM2",
-                  "DDR4 speedup over CPU GC"});
+                  "DDR4 speedup over CPU GC"},
+                 opts.format);
     std::vector<double> cpu_slow, ddr_slow, hbm_slow, ddr_speedup;
     std::vector<double> hbm_int;
 
@@ -38,8 +40,12 @@ main(int argc, char **argv)
         HaacConfig ddr = defaultConfig();
         HaacConfig hbm = ddr;
         hbm.dram = DramKind::Hbm2;
-        const double t_ddr = runBestReorder(wl, ddr).stats.seconds();
-        const double t_hbm = runBestReorder(wl, hbm).stats.seconds();
+        RunReport r_ddr = runBestReorder(wl, ddr);
+        RunReport r_hbm = runBestReorder(wl, hbm);
+        log.add(r_ddr, r_ddr.label + "/ddr4");
+        log.add(r_hbm, r_hbm.label + "/hbm2");
+        const double t_ddr = r_ddr.sim.seconds();
+        const double t_hbm = r_hbm.sim.seconds();
 
         cpu_slow.push_back(cpu / plain);
         ddr_slow.push_back(t_ddr / plain);

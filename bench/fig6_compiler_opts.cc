@@ -18,13 +18,15 @@ main(int argc, char **argv)
 {
     Options opts = parseArgs(argc, argv, "Figure 6: compiler speedups");
     const HaacConfig cfg = defaultConfig();
+    RunLog log(opts, "fig6_compiler_opts");
 
     std::printf("== Figure 6: speedup over CPU (16 GEs, 2MB SWW, DDR4, "
                 "Evaluator; %s scale) ==\n\n",
                 opts.paperScale ? "paper" : "default");
 
     Report table({"Benchmark", "Baseline", "RO+RN", "RO+RN+ESW",
-                  "RO/Base", "ESW/RO", "(paper-CPU model x)"});
+                  "RO/Base", "ESW/RO", "(paper-CPU model x)"},
+                 opts.format);
     std::vector<double> base_x, ro_x, esw_x, ro_gain, esw_gain;
 
     for (const char *name : {"BubbSt", "DotProd", "Merse", "Triangle",
@@ -46,10 +48,22 @@ main(int argc, char **argv)
         esw.reorder = ReorderKind::Full;
         esw.esw = true;
 
-        const double t_base =
-            runPipeline(wl, cfg, baseline).stats.seconds();
-        const double t_ro = runPipeline(wl, cfg, ro).stats.seconds();
-        const double t_esw = runPipeline(wl, cfg, esw).stats.seconds();
+        Session session(wl);
+        session.withConfig(cfg).withOutputs(false);
+        RunReport r_base = session.withCompileOptions(baseline)
+                               .withLabel("baseline")
+                               .runHaacSim();
+        RunReport r_ro =
+            session.withCompileOptions(ro).withLabel("ro+rn").runHaacSim();
+        RunReport r_esw = session.withCompileOptions(esw)
+                              .withLabel("ro+rn+esw")
+                              .runHaacSim();
+        const double t_base = r_base.sim.seconds();
+        const double t_ro = r_ro.sim.seconds();
+        const double t_esw = r_esw.sim.seconds();
+        log.add(r_base);
+        log.add(r_ro);
+        log.add(r_esw);
 
         base_x.push_back(cpu / t_base);
         ro_x.push_back(cpu / t_ro);

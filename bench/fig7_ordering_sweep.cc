@@ -19,6 +19,7 @@ int
 main(int argc, char **argv)
 {
     Options opts = parseArgs(argc, argv, "Figure 7: ordering sweep");
+    RunLog log(opts, "fig7_ordering_sweep");
 
     // Keep the SWW-pressure regime when workloads are shrunk: sweep
     // {0.5, 1, 2} MB at paper scale and 8x smaller SWWs by default.
@@ -34,7 +35,8 @@ main(int argc, char **argv)
         Workload wl = vipWorkload(name, opts.paperScale);
         std::printf("-- %s --\n", name);
         Report table({"Order", "SWW(MB)", "Compute", "WireTraffic",
-                      "Combined", "LiveWires(k)", "OoRW(k)"});
+                      "Combined", "LiveWires(k)", "OoRW(k)"},
+                     opts.format);
 
         for (ReorderKind kind : {ReorderKind::Baseline,
                                  ReorderKind::Segment,
@@ -45,19 +47,25 @@ main(int argc, char **argv)
                 CompileOptions copts;
                 copts.reorder = kind;
 
-                RunResult comp =
-                    runPipeline(wl, cfg, copts, SimMode::ComputeOnly);
-                RunResult comb =
-                    runPipeline(wl, cfg, copts, SimMode::Combined);
+                Session session(wl);
+                session.withConfig(cfg).withCompileOptions(copts);
+                session.withOutputs(false);
+                session.withLabel(std::string(reorderKindName(kind)) +
+                                  "/" + fmt(mb, 1) + "MB");
+                RunReport comp =
+                    session.runHaacSim(SimMode::ComputeOnly);
+                RunReport comb = session.runHaacSim(SimMode::Combined);
+                log.add(comp);
+                log.add(comb);
                 // The paper's blue bar: wire bytes alone at DDR4 BW.
                 const double wire_s =
-                    double(comb.stats.wireTrafficBytes()) /
+                    double(comb.sim.wireTrafficBytes()) /
                     (dramBytesPerCycle(cfg.dram) * 1e9);
 
                 table.addRow({reorderKindName(kind), fmt(mb, 1),
-                              fmtSeconds(comp.stats.seconds()),
+                              fmtSeconds(comp.sim.seconds()),
                               fmtSeconds(wire_s),
-                              fmtSeconds(comb.stats.seconds()),
+                              fmtSeconds(comb.sim.seconds()),
                               fmtKilo(double(comb.compile.liveWires)),
                               fmtKilo(double(comb.compile.oorReads))});
             }

@@ -16,6 +16,7 @@ int
 main(int argc, char **argv)
 {
     Options opts = parseArgs(argc, argv, "Figure 8: GE scaling");
+    RunLog log(opts, "fig8_ge_scaling");
 
     std::printf("== Figure 8: speedup over CPU vs GE count (2MB SWW; "
                 "%s scale) ==\n\n",
@@ -23,7 +24,8 @@ main(int argc, char **argv)
 
     const uint32_t ge_counts[] = {1, 2, 4, 8, 16};
     Report table({"Benchmark", "DRAM", "1", "2", "4", "8", "16",
-                  "16/1"});
+                  "16/1"},
+                 opts.format);
     std::vector<double> scale16, hbm16_x, hbm1_x;
 
     for (const char *name : {"BubbSt", "DotProd", "Merse", "Triangle",
@@ -41,16 +43,22 @@ main(int argc, char **argv)
                 HaacConfig cfg = defaultConfig();
                 cfg.numGes = ges;
                 cfg.dram = dram;
-                double seconds;
+                RunReport run;
                 if (dram == DramKind::Ddr4) {
-                    seconds =
-                        runBestReorder(wl, cfg).stats.seconds();
+                    run = runBestReorder(wl, cfg);
                 } else {
                     CompileOptions full;
                     full.reorder = ReorderKind::Full;
-                    seconds =
-                        runPipeline(wl, cfg, full).stats.seconds();
+                    run = Session(wl)
+                              .withConfig(cfg)
+                              .withCompileOptions(full)
+                              .withLabel("full")
+                              .withOutputs(false)
+                              .runHaacSim();
                 }
+                log.add(run, run.label + "/ges=" +
+                                 std::to_string(ges));
+                const double seconds = run.sim.seconds();
                 if (ges == 1)
                     t1 = seconds;
                 if (ges == 16)

@@ -17,6 +17,7 @@ int
 main(int argc, char **argv)
 {
     Options opts = parseArgs(argc, argv, "Figure 9: energy breakdown");
+    RunLog log(opts, "fig9_energy");
 
     std::printf("== Figure 9: normalized energy by component (full "
                 "reorder, 16 GEs, 2MB SWW, HBM2; %s scale) ==\n\n",
@@ -24,7 +25,8 @@ main(int argc, char **argv)
 
     Report table({"Benchmark", "HalfGate%", "Crossbar%", "SRAM%",
                   "Others%", "HBM2 PHY%", "Eff vs CPU (Kx)",
-                  "paper(Kx)"});
+                  "paper(Kx)"},
+                 opts.format);
     std::vector<double> hg_pct;
 
     for (const auto &[name, paper_k] : paperFig9EfficiencyK()) {
@@ -36,9 +38,15 @@ main(int argc, char **argv)
         cfg.dram = DramKind::Hbm2;
         CompileOptions copts;
         copts.reorder = ReorderKind::Full;
-        RunResult run = runPipeline(wl, cfg, copts);
+        RunReport run = Session(wl)
+                            .withConfig(cfg)
+                            .withCompileOptions(copts)
+                            .withLabel("full/hbm2")
+                            .withOutputs(false)
+                            .runHaacSim();
+        log.add(run);
 
-        EnergyBreakdown e = modelEnergy(cfg, run.stats);
+        const EnergyBreakdown &e = run.energy;
         const double tot = e.totalJ();
         const double cpu_j =
             cpuEnergyJoules(measuredCpuSeconds(wl));

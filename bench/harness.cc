@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 
 #include "gc/protocol.h"
 #include "platform/host_timer.h"
@@ -21,7 +22,9 @@ parseArgs(int argc, char **argv, const char *what)
         } else if (arg.rfind("--only=", 0) == 0) {
             opts.only = arg.substr(7);
         } else if (arg == "--csv") {
-            setReportFormat(ReportFormat::Csv);
+            opts.format = ReportFormat::Csv;
+        } else if (arg == "--json") {
+            opts.json = true;
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "%s\n\nflags:\n"
@@ -29,7 +32,9 @@ parseArgs(int argc, char **argv, const char *what)
                 "(slower)\n"
                 "  --only=<name>   run a single Table 2 benchmark\n"
                 "  --csv           emit tables as CSV rows instead of "
-                "aligned text\n",
+                "aligned text\n"
+                "  --json          also write per-run records to "
+                "BENCH_<bench>.json\n",
                 what);
             std::exit(0);
         } else if (arg.rfind("--benchmark", 0) == 0) {
@@ -49,20 +54,19 @@ defaultConfig()
     return HaacConfig{};
 }
 
-RunResult
+RunReport
 runPipeline(const Workload &wl, const HaacConfig &cfg,
-            CompileOptions copts, SimMode mode)
+            const CompileOptions &copts, SimMode mode)
 {
-    copts.swwWires = cfg.swwWires();
-    RunResult res;
-    HaacProgram prog =
-        compileProgram(assemble(wl.netlist), copts, &res.compile);
-    StreamSet set = buildStreams(prog, cfg);
-    res.stats = runSimulation(prog, cfg, set, mode);
-    return res;
+    return Session(wl)
+        .withConfig(cfg)
+        .withCompileOptions(copts)
+        .withMode(mode)
+        .withOutputs(false)
+        .runHaacSim();
 }
 
-RunResult
+RunReport
 runBestReorder(const Workload &wl, const HaacConfig &cfg, bool esw)
 {
     CompileOptions seg;
@@ -71,9 +75,52 @@ runBestReorder(const Workload &wl, const HaacConfig &cfg, bool esw)
     CompileOptions full;
     full.reorder = ReorderKind::Full;
     full.esw = esw;
-    RunResult rs = runPipeline(wl, cfg, seg);
-    RunResult rf = runPipeline(wl, cfg, full);
-    return rf.stats.cycles <= rs.stats.cycles ? rf : rs;
+    Session session(wl);
+    session.withConfig(cfg).withOutputs(false);
+    RunReport rs =
+        session.withCompileOptions(seg).withLabel("segment").runHaacSim();
+    RunReport rf =
+        session.withCompileOptions(full).withLabel("full").runHaacSim();
+    return rf.sim.cycles <= rs.sim.cycles ? rf : rs;
+}
+
+RunLog::RunLog(const Options &opts, std::string bench_name)
+    : enabled_(opts.json), path_("BENCH_" + bench_name + ".json")
+{
+}
+
+RunLog::~RunLog()
+{
+    flush();
+}
+
+void
+RunLog::add(RunReport report, const std::string &label)
+{
+    if (!enabled_)
+        return;
+    if (!label.empty())
+        report.label = label;
+    records_.push_back(report.toJson());
+}
+
+void
+RunLog::flush()
+{
+    if (!enabled_ || records_.empty())
+        return;
+    // JSON Lines, appended: one record per line, so successive
+    // invocations accumulate a trajectory instead of clobbering it.
+    std::ofstream f(path_, std::ios::app);
+    if (!f) {
+        std::fprintf(stderr, "RunLog: cannot write %s\n", path_.c_str());
+        return;
+    }
+    for (const std::string &rec : records_)
+        f << rec << '\n';
+    std::fprintf(stderr, "appended %zu records to %s\n",
+                 records_.size(), path_.c_str());
+    records_.clear();
 }
 
 double

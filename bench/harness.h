@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "api/session.h"
 #include "core/compiler/passes.h"
 #include "core/sim/engine.h"
 #include "platform/cpu_model.h"
@@ -25,35 +26,60 @@ struct Options
     bool paperScale = false;
     /** Restrict to one workload by Table 2 name (empty = all). */
     std::string only;
+    /** Table rendering, threaded into every Report this binary makes. */
+    ReportFormat format = ReportFormat::Table;
+    /** Emit per-run RunReport::toJson() records to BENCH_<name>.json. */
+    bool json = false;
 };
 
 /**
- * Parse --paper-scale / --only=<name> / --csv; exits on --help.
- * --csv applies process-wide via setReportFormat().
+ * Parse --paper-scale / --only=<name> / --csv / --json; exits on
+ * --help. The chosen format travels in the returned Options — there is
+ * no process-wide state.
  */
 Options parseArgs(int argc, char **argv, const char *what);
 
 /** The paper's default accelerator (16 GEs, 2 MB SWW, DDR4, Eval). */
 HaacConfig defaultConfig();
 
-/** One compiled+simulated configuration of a workload. */
-struct RunResult
-{
-    CompileStats compile;
-    SimStats stats;
-};
-
 /**
  * Compile @p wl under @p copts (swwWires is overwritten from @p cfg)
- * and simulate on @p cfg.
+ * and simulate on @p cfg — a thin wrapper over haac::Session +
+ * the "haac-sim" backend.
  */
-RunResult runPipeline(const Workload &wl, const HaacConfig &cfg,
-                      CompileOptions copts,
+RunReport runPipeline(const Workload &wl, const HaacConfig &cfg,
+                      const CompileOptions &copts,
                       SimMode mode = SimMode::Combined);
 
 /** Same, but returns the better of segment and full reordering. */
-RunResult runBestReorder(const Workload &wl, const HaacConfig &cfg,
+RunReport runBestReorder(const Workload &wl, const HaacConfig &cfg,
                          bool esw = true);
+
+/**
+ * Per-run JSON trajectory sink. Collects RunReport records and, when
+ * the binary ran with --json, appends them (JSON Lines: one object per
+ * line) to BENCH_<bench_name>.json in the working directory on
+ * destruction or an explicit flush(), so successive invocations
+ * accumulate a machine-readable perf history instead of overwriting
+ * it.
+ */
+class RunLog
+{
+  public:
+    RunLog(const Options &opts, std::string bench_name);
+    ~RunLog();
+
+    /** Record one run (label lands in RunReport::label). */
+    void add(RunReport report, const std::string &label = "");
+
+    /** Append collected records now (no-op without --json). */
+    void flush();
+
+  private:
+    bool enabled_;
+    std::string path_;
+    std::vector<std::string> records_;
+};
 
 /** Host-measured CPU GC seconds for a circuit (evaluator role). */
 double measuredCpuSeconds(const Workload &wl);

@@ -27,25 +27,26 @@ main(int argc, char **argv)
 
     Report table({"Benchmark", "#Levels", "#Wires(k)", "#Gates(k)",
                   "AND%", "ILP", "Spent%", "|paper:", "Lvl", "Gates(k)",
-                  "ILP", "Spent%"});
+                  "ILP", "Spent%"},
+                 opts.format);
 
     for (const PaperTable2Row &ref : paperTable2()) {
         if (!opts.only.empty() && opts.only != ref.name)
             continue;
         Workload wl = vipWorkload(ref.name, opts.paperScale);
-        HaacProgram baseline = assemble(wl.netlist);
 
         CompileOptions copts;
         copts.reorder = ReorderKind::Full;
-        copts.swwWires = cfg.swwWires();
-        CompileStats stats;
-        HaacProgram prog = compileProgram(baseline, copts, &stats);
-        DependenceGraph graph(prog);
+        Session::Compiled compiled = Session(wl)
+                                         .withConfig(cfg)
+                                         .withCompileOptions(copts)
+                                         .compile();
+        DependenceGraph graph(compiled.program);
 
         // The paper's Spent% is over all wires (inputs included),
         // consistent with Table 3's live-wire counts.
         const double spent_pct =
-            100.0 * (1.0 - double(stats.liveWires) /
+            100.0 * (1.0 - double(compiled.stats.liveWires) /
                                double(wl.netlist.numWires()));
         table.addRow({wl.name, std::to_string(graph.numLevels()),
                       fmtKilo(wl.netlist.numWires(), 0),

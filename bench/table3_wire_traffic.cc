@@ -30,7 +30,9 @@ main(int argc, char **argv)
 
     Report table({"Benchmark", "Live Seg", "Live Full", "OoRW Seg",
                   "OoRW Full", "Tot Seg", "Tot Full", "|paper:",
-                  "TotSeg", "TotFull"});
+                  "TotSeg", "TotFull"},
+                 opts.format);
+    RunLog log(opts, "table3_wire_traffic");
 
     for (const PaperTable3Row &ref : paperTable3()) {
         if (!opts.only.empty() && opts.only != ref.name)
@@ -42,8 +44,16 @@ main(int argc, char **argv)
         CompileOptions full;
         full.reorder = ReorderKind::Full;
 
-        RunResult rs = runPipeline(wl, cfg, seg);
-        RunResult rf = runPipeline(wl, cfg, full);
+        Session session(wl);
+        session.withConfig(cfg).withOutputs(false);
+        RunReport rs = session.withCompileOptions(seg)
+                           .withLabel("segment")
+                           .runHaacSim();
+        RunReport rf = session.withCompileOptions(full)
+                           .withLabel("full")
+                           .runHaacSim();
+        log.add(rs);
+        log.add(rf);
 
         const double live_s = double(rs.compile.liveWires);
         const double live_f = double(rf.compile.liveWires);

@@ -16,10 +16,11 @@ using namespace haac::bench;
 namespace {
 
 void
-printBreakdown(const HaacConfig &cfg)
+printBreakdown(const HaacConfig &cfg, ReportFormat format)
 {
     AreaPowerBreakdown b = modelAreaPower(cfg);
-    Report table({"Component", "Area (mm2)", "Power (mW)"});
+    Report table({"Component", "Area (mm2)", "Power (mW)"},
+                 format);
     auto row = [&table](const char *name, const AreaPower &ap) {
         table.addRow({name, fmt(ap.areaMm2, 4), fmt(ap.powerMw, 3)});
     };
@@ -41,11 +42,12 @@ printBreakdown(const HaacConfig &cfg)
 int
 main(int argc, char **argv)
 {
-    parseArgs(argc, argv, "Table 4: area and power breakdown");
+    Options opts =
+        parseArgs(argc, argv, "Table 4: area and power breakdown");
 
     std::printf("== Table 4: area/power at the paper design point "
                 "(16 GEs, 2MB SWW, 64 banks, 64KB queues) ==\n\n");
-    printBreakdown(defaultConfig());
+    printBreakdown(defaultConfig(), opts.format);
     std::printf("Paper: Half-Gate 2.15mm2/1253mW, SWW 1.94mm2/196mW, "
                 "total 4.33mm2/1502mW, density ~0.35 W/mm2.\n\n");
 
@@ -55,13 +57,13 @@ main(int argc, char **argv)
     small.banksPerGe = 4;
     small.swwBytes = 1024 * 1024;
     small.queueSramBytes = 16 * 1024;
-    printBreakdown(small);
+    printBreakdown(small, opts.format);
 
     std::printf("== Scaling: 32 GEs, 4MB SWW ==\n\n");
     HaacConfig big;
     big.numGes = 32;
     big.swwBytes = 4 * 1024 * 1024;
     big.queueSramBytes = 128 * 1024;
-    printBreakdown(big);
+    printBreakdown(big, opts.format);
     return 0;
 }

@@ -19,7 +19,9 @@ using namespace haac::bench;
 int
 main(int argc, char **argv)
 {
-    parseArgs(argc, argv, "Table 5: comparison to prior work");
+    Options opts =
+        parseArgs(argc, argv, "Table 5: comparison to prior work");
+    RunLog log(opts, "table5_prior_work");
 
     HaacConfig cfg = defaultConfig();
     cfg.role = Role::Garbler;
@@ -47,8 +49,10 @@ main(int argc, char **argv)
     for (auto &[name, wl] : circuits) {
         CompileOptions copts;
         copts.reorder = ReorderKind::Full;
-        RunResult run = runPipeline(wl, cfg, copts);
-        haac_us[name] = run.stats.seconds() * 1e6;
+        RunReport run = runPipeline(wl, cfg, copts);
+        run.workload = name;
+        log.add(run, "garbler/full");
+        haac_us[name] = run.sim.seconds() * 1e6;
         gate_count[name] = wl.netlist.numGates();
         total_gates += wl.netlist.numGates();
         total_us += haac_us[name];
@@ -56,7 +60,8 @@ main(int argc, char **argv)
 
     Report table({"Work", "Benchmark", "Prior (us)", "Ours (us)",
                   "Speedup", "| paper HAAC (us)", "paper x",
-                  "#gates"});
+                  "#gates"},
+                 opts.format);
     for (const PaperTable5Row &row : paperTable5()) {
         const double ours = haac_us.at(row.bench);
         table.addRow({row.source, row.bench, fmt(row.priorUs, 2),
@@ -70,9 +75,9 @@ main(int argc, char **argv)
     Workload aes = makeAes128();
     CompileOptions copts;
     copts.reorder = ReorderKind::Full;
-    RunResult run = runPipeline(aes, cfg, copts);
+    RunReport run = runPipeline(aes, cfg, copts);
     const double rate =
-        double(aes.netlist.numGates()) / (run.stats.seconds() * 1e6);
+        double(aes.netlist.numGates()) / (run.sim.seconds() * 1e6);
     std::printf("\nGPU [35]: 75 gates/us garbled; our HAAC: %.0f "
                 "gates/us on AES-128 (paper: 8,700 gates/us).\n",
                 rate);

@@ -10,12 +10,11 @@
 #include <cstdio>
 #include <iostream>
 
+#include "api/session.h"
 #include "circuit/bristol.h"
 #include "circuit/builder.h"
 #include "circuit/stdlib.h"
 #include "core/compiler/depgraph.h"
-#include "core/compiler/passes.h"
-#include "core/sim/engine.h"
 #include "platform/report.h"
 
 using namespace haac;
@@ -68,8 +67,8 @@ main(int argc, char **argv)
         netlist = demoCircuit();
     }
 
-    HaacProgram baseline = assemble(netlist);
-    DependenceGraph graph(baseline);
+    Session session(netlist, "explorer");
+    DependenceGraph graph(session.assembled());
     std::printf("\ncircuit: %u gates (%.1f%% AND), %u wires, depth %u "
                 "levels, avg ILP %.1f\n\n",
                 netlist.numGates(), netlist.andPercent(),
@@ -87,20 +86,18 @@ main(int argc, char **argv)
                 CompileOptions opts;
                 opts.reorder = kind;
                 opts.esw = esw;
-                opts.swwWires = cfg.swwWires();
-                CompileStats cstats;
-                HaacProgram prog =
-                    compileProgram(baseline, opts, &cstats);
-                SimStats stats = simulate(prog, cfg);
+                RunReport run = session.withConfig(cfg)
+                                    .withCompileOptions(opts)
+                                    .runHaacSim();
                 table.addRow(
                     {reorderKindName(kind),
                      std::to_string(sww_kb) + "KB", esw ? "on" : "off",
-                     std::to_string(stats.cycles),
-                     fmt(stats.seconds() * 1e6, 2),
-                     std::to_string(cstats.oorReads),
-                     std::to_string(cstats.liveWires),
-                     std::to_string(stats.stallInstrQueue),
-                     std::to_string(stats.stallOperand)});
+                     std::to_string(run.sim.cycles),
+                     fmt(run.sim.seconds() * 1e6, 2),
+                     std::to_string(run.compile.oorReads),
+                     std::to_string(run.compile.liveWires),
+                     std::to_string(run.sim.stallInstrQueue),
+                     std::to_string(run.sim.stallOperand)});
             }
         }
     }

@@ -11,11 +11,9 @@
 #include <cstdio>
 #include <vector>
 
+#include "api/session.h"
 #include "circuit/builder.h"
 #include "circuit/stdlib.h"
-#include "core/compiler/passes.h"
-#include "core/sim/engine.h"
-#include "gc/protocol.h"
 
 using namespace haac;
 
@@ -77,7 +75,9 @@ main()
             (i < kBidders / 2 ? gb : eb)
                 .push_back(((bid_vals[i] >> bit) & 1) != 0);
 
-    ProtocolResult res = runProtocol(auction, gb, eb);
+    Session session(auction, "vickrey-auction");
+    session.withInputs(gb, eb);
+    RunReport res = session.runSoftwareGc();
     uint32_t widx = 0, wprice = 0;
     for (uint32_t bit = 0; bit < 3; ++bit)
         widx |= uint32_t(res.outputs[bit]) << bit;
@@ -88,15 +88,14 @@ main()
     std::printf("expected: bidder 5 pays 670\n");
 
     // HAAC: how fast would the accelerator clear a large auction?
-    HaacConfig cfg;
     CompileOptions opts;
     opts.reorder = ReorderKind::Full;
-    opts.swwWires = cfg.swwWires();
-    HaacProgram prog = compileProgram(assemble(auction), opts);
-    SimStats stats = simulate(prog, cfg);
+    RunReport sim = session.withCompileOptions(opts)
+                        .withOutputs(false) // only timing is read
+                        .runHaacSim();
     std::printf("HAAC (16 GEs, DDR4): %llu cycles = %.2f us per "
                 "auction round\n",
-                (unsigned long long)stats.cycles,
-                stats.seconds() * 1e6);
+                (unsigned long long)sim.sim.cycles,
+                sim.sim.seconds() * 1e6);
     return 0;
 }

@@ -13,11 +13,9 @@
 #include <iostream>
 #include <vector>
 
+#include "api/session.h"
 #include "circuit/builder.h"
 #include "circuit/stdlib.h"
-#include "core/compiler/passes.h"
-#include "core/sim/engine.h"
-#include "gc/protocol.h"
 #include "platform/report.h"
 
 using namespace haac;
@@ -72,7 +70,9 @@ main()
     }
 
     // --- Secure evaluation. ---
-    ProtocolResult res = runProtocol(layer, wbits, xbits);
+    Session session(layer, "pi-layer");
+    session.withInputs(wbits, xbits);
+    RunReport res = session.runSoftwareGc();
     std::printf("secure outputs: ");
     for (uint32_t o = 0; o < kOut; ++o) {
         uint32_t raw = 0;
@@ -85,24 +85,22 @@ main()
             want += wv[o * kIn + i] * (xv[i] > 0 ? xv[i] : 0);
         std::printf("%d(expect %d) ", v, int32_t(int16_t(want)));
     }
-    std::printf("\ncommunication: %zu bytes\n", res.totalBytes);
+    std::printf("\ncommunication: %llu bytes\n",
+                (unsigned long long)res.comm.totalBytes);
 
     // --- HAAC acceleration: compare compiler configurations. ---
-    HaacConfig cfg;
     Report table({"Schedule", "Cycles", "OoRW", "Live wires"});
+    session.withOutputs(false); // the sweep only reads timing
     for (ReorderKind kind : {ReorderKind::Baseline, ReorderKind::Full,
                              ReorderKind::Segment}) {
         CompileOptions opts;
         opts.reorder = kind;
-        opts.swwWires = cfg.swwWires();
-        CompileStats cstats;
-        HaacProgram prog =
-            compileProgram(assemble(layer), opts, &cstats);
-        SimStats stats = simulate(prog, cfg);
+        RunReport run =
+            session.withCompileOptions(opts).runHaacSim();
         table.addRow({reorderKindName(kind),
-                      std::to_string(stats.cycles),
-                      std::to_string(cstats.oorReads),
-                      std::to_string(cstats.liveWires)});
+                      std::to_string(run.sim.cycles),
+                      std::to_string(run.compile.oorReads),
+                      std::to_string(run.compile.liveWires)});
     }
     table.print(std::cout);
     return 0;

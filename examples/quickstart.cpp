@@ -2,21 +2,21 @@
  * @file
  * Quickstart: Yao's millionaires' problem, end to end.
  *
- * Builds a comparator circuit with the EMP-like frontend, runs it
- * through the two-party GC protocol (garble, simulated OT, evaluate),
- * then compiles the same circuit for the HAAC accelerator and reports
- * the simulated cycle count and speedup.
+ * Builds a comparator circuit with the EMP-like frontend, then runs the
+ * same circuit through both of haac::Session's built-in backends: the
+ * real two-party GC protocol ("software-gc") and the HAAC accelerator
+ * model ("haac-sim") — the paper's one-program-two-executions story in
+ * a dozen lines.
  *
- *   ./quickstart [alice_wealth] [bob_wealth]
+ *   ./quickstart [alice_wealth] [bob_wealth] [--json]
  */
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
+#include "api/session.h"
 #include "circuit/builder.h"
 #include "circuit/stdlib.h"
-#include "core/compiler/passes.h"
-#include "core/sim/engine.h"
-#include "gc/protocol.h"
 #include "platform/cpu_model.h"
 
 using namespace haac;
@@ -24,10 +24,16 @@ using namespace haac;
 int
 main(int argc, char **argv)
 {
-    const uint64_t alice = argc > 1 ? std::strtoull(argv[1], nullptr, 0)
-                                    : 1'000'000;
-    const uint64_t bob = argc > 2 ? std::strtoull(argv[2], nullptr, 0)
-                                  : 1'250'000;
+    bool json = false;
+    uint64_t vals[2] = {1'000'000, 1'250'000};
+    int nvals = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0)
+            json = true;
+        else if (nvals < 2)
+            vals[nvals++] = std::strtoull(argv[i], nullptr, 0);
+    }
+    const uint64_t alice = vals[0], bob = vals[1];
 
     // 1. Describe the function as a circuit: "is Alice richer?"
     CircuitBuilder cb;
@@ -39,34 +45,46 @@ main(int argc, char **argv)
                 netlist.numGates(), netlist.numAndGates(),
                 netlist.numWires());
 
-    // 2. Run the secure two-party protocol. Neither party learns the
-    //    other's number, only the comparison bit.
-    ProtocolResult res = runProtocol(netlist, u64ToBits(alice, 32),
-                                     u64ToBits(bob, 32));
+    // 2. One session, two backends.
+    Session session(netlist, "millionaires");
+    session.withInputs(u64ToBits(alice, 32), u64ToBits(bob, 32));
+
+    // Secure two-party execution: neither party learns the other's
+    // number, only the comparison bit.
+    RunReport secure = session.runSoftwareGc();
     std::printf("secure result: Alice %s richer than Bob\n",
-                res.outputs[0] ? "is" : "is not");
-    if (res.outputs[0] != (bob < alice)) {
+                secure.outputs[0] ? "is" : "is not");
+    if (secure.outputs[0] != (bob < alice)) {
         std::fprintf(stderr,
                      "MISMATCH: secure result disagrees with plaintext "
                      "(expected %d)\n",
                      bob < alice ? 1 : 0);
         return 1;
     }
-    std::printf("communication: %zu bytes (%zu table bytes)\n",
-                res.totalBytes, res.tableBytes);
+    std::printf("communication: %llu bytes (%llu table bytes)\n",
+                (unsigned long long)secure.comm.totalBytes,
+                (unsigned long long)secure.comm.tableBytes);
 
-    // 3. Accelerate: compile for HAAC and simulate the Evaluator.
-    HaacConfig cfg; // 16 GEs, 2 MB SWW, DDR4
+    // 3. Accelerate: the same session on the HAAC model.
     CompileOptions opts;
     opts.reorder = ReorderKind::Full;
-    opts.swwWires = cfg.swwWires();
-    HaacProgram prog = compileProgram(assemble(netlist), opts);
-    SimStats stats = simulate(prog, cfg);
+    RunReport sim =
+        session.withCompileOptions(opts).runHaacSim();
+    if (!sim.hasOutputs || sim.outputs != secure.outputs) {
+        std::fprintf(stderr, "MISMATCH: haac-sim outputs disagree with "
+                             "the secure protocol\n");
+        return 1;
+    }
     const double cpu_s = paperCpuSeconds(netlist.numGates());
     std::printf("HAAC: %llu cycles (%.3f us); EMP-class CPU model "
                 "%.3f us -> %.1fx speedup\n",
-                (unsigned long long)stats.cycles,
-                stats.seconds() * 1e6, cpu_s * 1e6,
-                cpu_s / stats.seconds());
+                (unsigned long long)sim.sim.cycles,
+                sim.sim.seconds() * 1e6, cpu_s * 1e6,
+                cpu_s / sim.sim.seconds());
+
+    if (json) {
+        std::printf("%s\n%s\n", secure.toJson().c_str(),
+                    sim.toJson().c_str());
+    }
     return 0;
 }

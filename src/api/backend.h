@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Pluggable execution backends for haac::Session.
+ *
+ * A Backend is one way of running a garbled circuit: the software
+ * two-party protocol on the CPU, the HAAC accelerator model, or —
+ * through the registry — anything a downstream user links in (a
+ * sharded multi-core sim, a remote two-machine channel, ...). The
+ * Session hands the backend its circuit, inputs, and configuration;
+ * the backend answers with one RunReport.
+ *
+ * Registry: backends self-register under a stable string name
+ * ("software-gc", "haac-sim"). Session::run("name") resolves through
+ * it, so new backends plug in without touching any caller.
+ */
+#ifndef HAAC_API_BACKEND_H
+#define HAAC_API_BACKEND_H
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/run_report.h"
+
+namespace haac {
+
+class Session;
+
+class Backend
+{
+  public:
+    virtual ~Backend() = default;
+
+    /** Stable identifier, echoed into RunReport::backend. */
+    virtual const char *name() const = 0;
+
+    /** Execute the session's circuit and produce a structured report. */
+    virtual RunReport execute(const Session &session) = 0;
+};
+
+/**
+ * The EMP-class CPU baseline: runs the real two-party protocol
+ * (garble, simulated OT, channel transfer, evaluate) and reports
+ * outputs plus exact communication accounting.
+ */
+class SoftwareGcBackend : public Backend
+{
+  public:
+    const char *name() const override { return "software-gc"; }
+    RunReport execute(const Session &session) override;
+};
+
+/**
+ * The HAAC accelerator model: assemble → compile (RO/RN/ESW) →
+ * generate streams → cycle-level simulation, plus the activity-driven
+ * energy model. Optionally pinned to a HaacConfig / SimMode that
+ * overrides whatever the Session carries (so a registry entry can
+ * represent a fixed design point).
+ */
+class HaacSimBackend : public Backend
+{
+  public:
+    HaacSimBackend() = default;
+    explicit HaacSimBackend(HaacConfig config,
+                            std::optional<SimMode> mode = std::nullopt)
+        : config_(config), mode_(mode)
+    {
+    }
+
+    const char *name() const override { return "haac-sim"; }
+    RunReport execute(const Session &session) override;
+
+  private:
+    std::optional<HaacConfig> config_;
+    std::optional<SimMode> mode_;
+};
+
+/** @name Backend registry */
+/// @{
+using BackendFactory = std::function<std::unique_ptr<Backend>()>;
+
+/**
+ * Register a factory under @p name.
+ *
+ * @return false (and leaves the registry unchanged) when the name is
+ *         already taken.
+ */
+bool registerBackend(const std::string &name, BackendFactory factory);
+
+/**
+ * Instantiate a registered backend.
+ *
+ * @throws std::invalid_argument listing the registered names when
+ *         @p name is unknown.
+ */
+std::unique_ptr<Backend> createBackend(const std::string &name);
+
+/** Registered backend names, sorted. */
+std::vector<std::string> backendNames();
+/// @}
+
+} // namespace haac
+
+#endif // HAAC_API_BACKEND_H

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * RunReport: the one structured result every backend returns.
+ *
+ * A single execution — software GC on the CPU or the HAAC model — used
+ * to scatter its results across ProtocolResult, CompileStats, SimStats,
+ * channel counters, and the energy model. RunReport merges them so
+ * callers compare backends field by field, and serializes itself to CSV
+ * or JSON so benchmark trajectories can accumulate without screen
+ * scraping. Sections that a backend did not produce are flagged absent
+ * (hasComm / hasSim / hasEnergy / hasOutputs) rather than zero-filled.
+ */
+#ifndef HAAC_API_RUN_REPORT_H
+#define HAAC_API_RUN_REPORT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/compiler/passes.h"
+#include "core/sim/config.h"
+#include "core/sim/engine.h"
+#include "core/sim/stats.h"
+#include "platform/energy_model.h"
+
+namespace haac {
+
+/** Human-readable SimMode name ("combined", "compute", "traffic"). */
+const char *simModeName(SimMode mode);
+
+/** Human-readable Role / DramKind names for serialization. */
+const char *roleName(Role role);
+const char *dramKindName(DramKind kind);
+
+struct RunReport
+{
+    /** Registry name of the backend that produced this report. */
+    std::string backend;
+    /** Workload / circuit name (empty when the caller gave none). */
+    std::string workload;
+    /** Free-form caller tag, e.g. the compiler configuration swept. */
+    std::string label;
+
+    /** @name Circuit outputs */
+    /// @{
+    std::vector<bool> outputs;
+    bool hasOutputs = false;
+    /// @}
+
+    /** @name Communication accounting (software GC backend) */
+    /// @{
+    struct Communication
+    {
+        uint64_t tableBytes = 0;
+        uint64_t inputLabelBytes = 0;
+        uint64_t otBytes = 0;
+        uint64_t outputDecodeBytes = 0;
+        uint64_t totalBytes = 0;
+    };
+    Communication comm;
+    bool hasComm = false;
+    /// @}
+
+    /** @name Accelerator pipeline (HAAC sim backend) */
+    /// @{
+    CompileStats compile;
+    SimStats sim;
+    bool hasSim = false;
+
+    EnergyBreakdown energy;
+    bool hasEnergy = false;
+    /// @}
+
+    /** Configuration echo, so a serialized report is self-describing. */
+    HaacConfig config;
+    SimMode mode = SimMode::Combined;
+
+    /** Host wall-clock seconds spent producing this report. */
+    double hostSeconds = 0;
+
+    /**
+     * The time the backend models for the execution: simulated
+     * accelerator seconds when available, otherwise host seconds.
+     */
+    double
+    modeledSeconds() const
+    {
+        return hasSim ? sim.seconds() : hostSeconds;
+    }
+
+    /** One JSON object (single line, stable key order). */
+    std::string toJson() const;
+
+    /** CSV column names matching csvRow(). */
+    static std::string csvHeader();
+    /** One CSV data row. */
+    std::string csvRow() const;
+    /** Header + row (convenience for one-off dumps). */
+    std::string toCsv() const;
+};
+
+} // namespace haac
+
+#endif // HAAC_API_RUN_REPORT_H

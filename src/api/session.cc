@@ -1,0 +1,133 @@
+#include "api/session.h"
+
+#include <utility>
+
+#include "workloads/vip.h"
+
+namespace haac {
+
+Session::Session(Netlist netlist, std::string name)
+    : netlist_(std::move(netlist)), name_(std::move(name))
+{
+}
+
+Session::Session(const Workload &workload)
+    : netlist_(workload.netlist), name_(workload.name),
+      garblerBits_(workload.garblerBits),
+      evaluatorBits_(workload.evaluatorBits)
+{
+}
+
+Session &
+Session::withInputs(std::vector<bool> garbler_bits,
+                    std::vector<bool> evaluator_bits)
+{
+    garblerBits_ = std::move(garbler_bits);
+    evaluatorBits_ = std::move(evaluator_bits);
+    return *this;
+}
+
+Session &
+Session::withSeed(uint64_t seed)
+{
+    seed_ = seed;
+    return *this;
+}
+
+Session &
+Session::withCompileOptions(const CompileOptions &opts)
+{
+    copts_ = opts;
+    return *this;
+}
+
+Session &
+Session::withConfig(const HaacConfig &config)
+{
+    config_ = config;
+    return *this;
+}
+
+Session &
+Session::withMode(SimMode mode)
+{
+    mode_ = mode;
+    return *this;
+}
+
+Session &
+Session::withLabel(std::string label)
+{
+    label_ = std::move(label);
+    return *this;
+}
+
+Session &
+Session::withOutputs(bool want)
+{
+    wantOutputs_ = want;
+    return *this;
+}
+
+bool
+Session::inputsMatchCircuit() const
+{
+    return garblerBits_.size() == netlist_.numGarblerInputs &&
+           evaluatorBits_.size() == netlist_.numEvaluatorInputs;
+}
+
+HaacProgram
+Session::assembled() const
+{
+    return assemble(netlist_);
+}
+
+Session::Compiled
+Session::compile() const
+{
+    CompileOptions opts = copts_;
+    opts.swwWires = config_.swwWires();
+    Compiled out;
+    out.program = compileProgram(assemble(netlist_), opts, &out.stats);
+    return out;
+}
+
+RunReport
+Session::run(Backend &backend) const
+{
+    RunReport report = backend.execute(*this);
+    report.backend = backend.name();
+    report.workload = name_;
+    report.label = label_;
+    return report;
+}
+
+RunReport
+Session::run(const std::string &backend_name) const
+{
+    std::unique_ptr<Backend> backend = createBackend(backend_name);
+    return run(*backend);
+}
+
+RunReport
+Session::runSoftwareGc() const
+{
+    SoftwareGcBackend backend;
+    return run(backend);
+}
+
+RunReport
+Session::runHaacSim() const
+{
+    HaacSimBackend backend;
+    return run(backend);
+}
+
+RunReport
+Session::runHaacSim(SimMode mode) const
+{
+    HaacSimBackend backend(config_, mode);
+    return run(backend);
+}
+
+} // namespace haac

@@ -12,8 +12,9 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
+#include <cstring>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "crypto/label.h"
@@ -35,11 +36,23 @@ class Channel
     void
     recvBytes(uint8_t *data, size_t n)
     {
-        if (buffer_.size() < n)
-            throw std::runtime_error("channel underflow");
-        for (size_t i = 0; i < n; ++i)
-            data[i] = buffer_[i];
-        buffer_.erase(buffer_.begin(), buffer_.begin() + long(n));
+        const size_t avail = buffer_.size() - head_;
+        if (avail < n)
+            throw std::runtime_error(
+                "channel underflow: requested " + std::to_string(n) +
+                " bytes but only " + std::to_string(avail) +
+                " buffered");
+        if (n > 0)
+            std::memcpy(data, buffer_.data() + head_, n);
+        head_ += n;
+        // Reclaim the consumed prefix once it dominates the buffer, so
+        // the channel stays O(bytes) overall without sliding on every
+        // receive.
+        if (head_ >= 4096 && head_ * 2 >= buffer_.size()) {
+            buffer_.erase(buffer_.begin(),
+                          buffer_.begin() + long(head_));
+            head_ = 0;
+        }
     }
 
     void
@@ -91,10 +104,11 @@ class Channel
 
     size_t bytesSent() const { return bytesSent_; }
     size_t messagesSent() const { return messagesSent_; }
-    size_t pending() const { return buffer_.size(); }
+    size_t pending() const { return buffer_.size() - head_; }
 
   private:
-    std::deque<uint8_t> buffer_;
+    std::vector<uint8_t> buffer_;
+    size_t head_ = 0; ///< consumed prefix of buffer_
     size_t bytesSent_ = 0;
     size_t messagesSent_ = 0;
 };

@@ -10,8 +10,6 @@ namespace haac {
 
 namespace {
 
-ReportFormat g_format = ReportFormat::Table;
-
 /** RFC-4180 quoting: wrap when a cell holds a comma, quote or newline. */
 std::string
 csvCell(const std::string &cell)
@@ -30,20 +28,8 @@ csvCell(const std::string &cell)
 
 } // namespace
 
-void
-setReportFormat(ReportFormat format)
-{
-    g_format = format;
-}
-
-ReportFormat
-reportFormat()
-{
-    return g_format;
-}
-
-Report::Report(std::vector<std::string> headers)
-    : headers_(std::move(headers))
+Report::Report(std::vector<std::string> headers, ReportFormat format)
+    : headers_(std::move(headers)), format_(format)
 {
 }
 
@@ -57,7 +43,7 @@ Report::addRow(std::vector<std::string> cells)
 void
 Report::print(std::ostream &os) const
 {
-    if (g_format == ReportFormat::Csv)
+    if (format_ == ReportFormat::Csv)
         printCsv(os);
     else
         printTable(os);

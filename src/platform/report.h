@@ -2,6 +2,10 @@
  * @file
  * Plain-text table formatting for the benchmark harness, so each bench
  * binary prints rows/series shaped like the paper's tables and figures.
+ *
+ * The output format is per-Report state, threaded explicitly from the
+ * caller (the bench harness passes Options::format); there is no
+ * process-wide format global.
  */
 #ifndef HAAC_PLATFORM_REPORT_H
 #define HAAC_PLATFORM_REPORT_H
@@ -19,25 +23,26 @@ enum class ReportFormat
     Csv,
 };
 
-/** Process-wide output format (bench --csv flips this). */
-void setReportFormat(ReportFormat format);
-ReportFormat reportFormat();
-
 /** A simple right-aligned column table. */
 class Report
 {
   public:
-    explicit Report(std::vector<std::string> headers);
+    explicit Report(std::vector<std::string> headers,
+                    ReportFormat format = ReportFormat::Table);
 
     void addRow(std::vector<std::string> cells);
-    /** Render in the process-wide ReportFormat. */
+
+    /** Render in this Report's format. */
     void print(std::ostream &os) const;
     void printTable(std::ostream &os) const;
     void printCsv(std::ostream &os) const;
 
+    ReportFormat format() const { return format_; }
+
   private:
     std::vector<std::string> headers_;
     std::vector<std::vector<std::string>> rows_;
+    ReportFormat format_;
 };
 
 /** Fixed-precision double. */

@@ -31,6 +31,9 @@ float
 ulpOf(float x)
 {
     const float ax = std::fabs(x);
+    // ilogb(0) is FP_ILOGB0 (INT_MIN); subtracting from it overflows.
+    if (ax == 0.0f || !std::isfinite(ax))
+        return std::ldexp(1.0f, -126);
     return std::max(std::ldexp(1.0f, int(std::ilogb(ax)) - 23),
                     std::ldexp(1.0f, -126));
 }
