@@ -1,0 +1,29 @@
+# Cross-compile for aarch64 Linux with the distro cross toolchain and
+# run test binaries under qemu-user — how CI exercises the portable
+# (non-AES-NI) crypto path on a real non-x86 target:
+#
+#   cmake -B build-arm -S . \
+#     -DCMAKE_TOOLCHAIN_FILE=cmake/toolchains/aarch64-linux-gnu.cmake
+#   cmake --build build-arm -j && ctest --test-dir build-arm
+#
+# Needs: g++-aarch64-linux-gnu, qemu-user, and libgtest-dev (the
+# /usr/src/googletest source tree is architecture-independent and is
+# rebuilt with the cross compiler).
+
+set(CMAKE_SYSTEM_NAME Linux)
+set(CMAKE_SYSTEM_PROCESSOR aarch64)
+
+set(CMAKE_C_COMPILER aarch64-linux-gnu-gcc)
+set(CMAKE_CXX_COMPILER aarch64-linux-gnu-g++)
+
+# Never pick up host (x86) libraries or headers; programs (e.g. the
+# compilers themselves) still come from the host.
+set(CMAKE_FIND_ROOT_PATH /usr/aarch64-linux-gnu)
+set(CMAKE_FIND_ROOT_PATH_MODE_PROGRAM NEVER)
+set(CMAKE_FIND_ROOT_PATH_MODE_LIBRARY ONLY)
+set(CMAKE_FIND_ROOT_PATH_MODE_INCLUDE ONLY)
+set(CMAKE_FIND_ROOT_PATH_MODE_PACKAGE ONLY)
+
+# ctest runs every test binary through qemu (-L points the emulated
+# dynamic linker at the cross sysroot).
+set(CMAKE_CROSSCOMPILING_EMULATOR "qemu-aarch64;-L;/usr/aarch64-linux-gnu")

@@ -27,6 +27,7 @@
 namespace haac {
 
 class Session;
+class Transport;
 
 class Backend
 {
@@ -75,6 +76,37 @@ class HaacSimBackend : public Backend
   private:
     std::optional<HaacConfig> config_;
     std::optional<SimMode> mode_;
+};
+
+/**
+ * The networked two-party runtime: this process plays one GC role
+ * (Session::withRemote) and the peer — another remote-gc session, a
+ * remote_millionaires process, or a haac_server — plays the other,
+ * over a framed Transport. Streams garbled tables in segments, so
+ * memory stays O(wires) regardless of circuit size. The report
+ * carries outputs, the exact ProtocolResult-compatible communication
+ * accounting measured on the wire, and the net section (raw bytes,
+ * segments, gates/s).
+ */
+class RemoteGcBackend : public Backend
+{
+  public:
+    /** Endpoint/role come from the Session (withRemote). */
+    RemoteGcBackend() = default;
+
+    /**
+     * Run over an already-connected transport in a fixed role —
+     * how tests drive both ends of a LoopbackTransport pair without
+     * ports, and how callers bring their own connection.
+     */
+    RemoteGcBackend(std::shared_ptr<Transport> transport, Role role);
+
+    const char *name() const override { return "remote-gc"; }
+    RunReport execute(const Session &session) override;
+
+  private:
+    std::shared_ptr<Transport> transport_;
+    std::optional<Role> role_;
 };
 
 /** @name Backend registry */

@@ -9,12 +9,15 @@
 #include "api/backend.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <map>
 #include <stdexcept>
 
 #include "api/session.h"
 #include "core/compiler/streams.h"
 #include "gc/protocol.h"
+#include "net/server.h"
+#include "net/tcp.h"
 #include "platform/energy_model.h"
 
 namespace haac {
@@ -108,6 +111,96 @@ HaacSimBackend::execute(const Session &session)
     return report;
 }
 
+namespace {
+
+/**
+ * "listen:port" / "listen:host:port" accepts one connection;
+ * "host:port" connects (retrying until the peer starts listening).
+ */
+std::unique_ptr<Transport>
+openEndpoint(const std::string &endpoint)
+{
+    auto hostPort = [&](const std::string &s, std::string &host,
+                        uint16_t &port) {
+        const size_t colon = s.rfind(':');
+        const std::string port_str =
+            colon == std::string::npos ? s : s.substr(colon + 1);
+        host = colon == std::string::npos ? "" : s.substr(0, colon);
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(port_str.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || v == 0 || v > 65535)
+            throw std::invalid_argument(
+                "remote-gc endpoint \"" + endpoint +
+                "\": bad port \"" + port_str + "\"");
+        port = uint16_t(v);
+    };
+
+    std::string host;
+    uint16_t port = 0;
+    if (endpoint.rfind("listen:", 0) == 0) {
+        hostPort(endpoint.substr(7), host, port);
+        TcpListener listener(port, host.empty() ? "0.0.0.0" : host);
+        return listener.accept();
+    }
+    hostPort(endpoint, host, port);
+    if (host.empty())
+        host = "127.0.0.1";
+    return TcpTransport::connect(host, port);
+}
+
+} // namespace
+
+RemoteGcBackend::RemoteGcBackend(std::shared_ptr<Transport> transport,
+                                 Role role)
+    : transport_(std::move(transport)), role_(role)
+{
+}
+
+RunReport
+RemoteGcBackend::execute(const Session &session)
+{
+    const Role role = role_ ? *role_ : session.remoteRole();
+
+    std::unique_ptr<Transport> owned;
+    Transport *transport = transport_.get();
+    if (!transport) {
+        if (session.remoteEndpoint().empty())
+            throw std::invalid_argument(
+                "remote-gc: no transport and no endpoint; configure "
+                "Session::withRemote(role, endpoint)");
+        owned = openEndpoint(session.remoteEndpoint());
+        transport = owned.get();
+    }
+
+    clientHello(*transport,
+                role == Role::Garbler ? PeerRole::Garbler
+                                      : PeerRole::Evaluator,
+                session.remoteSpec());
+
+    const Netlist &netlist = session.netlist();
+    RemoteOptions ropts;
+    ropts.segmentTables = session.segmentTables();
+
+    RemoteResult result;
+    if (role == Role::Garbler) {
+        std::vector<bool> bits = session.garblerBits();
+        if (bits.empty())
+            bits.resize(netlist.numGarblerInputs, false);
+        result = runRemoteGarbler(netlist, bits, *transport,
+                                  session.seed(), ropts);
+    } else {
+        std::vector<bool> bits = session.evaluatorBits();
+        if (bits.empty())
+            bits.resize(netlist.numEvaluatorInputs, false);
+        result = runRemoteEvaluator(netlist, bits, *transport, ropts);
+    }
+
+    RunReport report = makeRemoteReport(result, role, *transport);
+    report.config = session.config();
+    report.mode = session.mode();
+    return report;
+}
+
 bool
 registerBackend(const std::string &name, BackendFactory factory)
 {
@@ -148,6 +241,9 @@ const bool kBuiltinsRegistered = [] {
     });
     registerBackend("haac-sim", [] {
         return std::unique_ptr<Backend>(new HaacSimBackend());
+    });
+    registerBackend("remote-gc", [] {
+        return std::unique_ptr<Backend>(new RemoteGcBackend());
     });
     return true;
 }();

@@ -166,6 +166,20 @@ RunReport::toJson() const
         j.end();
     }
 
+    if (hasNet) {
+        j.begin("net");
+        j.add("role", std::string(roleName(net.role)));
+        j.add("endpoint", net.endpoint);
+        j.add("raw_bytes_sent", net.rawBytesSent);
+        j.add("raw_bytes_received", net.rawBytesReceived);
+        j.add("control_bytes", net.controlBytes);
+        j.add("table_segments", net.tableSegments);
+        j.add("segment_tables", uint64_t(net.segmentTables));
+        j.add("gates", net.gates);
+        j.add("gates_per_second", net.gatesPerSecond);
+        j.end();
+    }
+
     if (hasSim) {
         j.begin("compile");
         j.add("instructions", compile.instructions);

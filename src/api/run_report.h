@@ -61,6 +61,30 @@ struct RunReport
     bool hasComm = false;
     /// @}
 
+    /** @name Networked execution (remote-gc backend / haac_server) */
+    /// @{
+    struct Net
+    {
+        /** GC role this endpoint played. */
+        Role role = Role::Garbler;
+        /** Transport description ("tcp:1.2.3.4:9000", "loopback:a"). */
+        std::string endpoint;
+        /** True wire bytes (frame headers and handshakes included). */
+        uint64_t rawBytesSent = 0;
+        uint64_t rawBytesReceived = 0;
+        /** Fingerprint + choice bits + result echo payload. */
+        uint64_t controlBytes = 0;
+        /** Frames the garbled-table stream used (one per segment). */
+        uint64_t tableSegments = 0;
+        /** Tables per segment the garbler streamed with. */
+        uint32_t segmentTables = 0;
+        uint64_t gates = 0;
+        double gatesPerSecond = 0;
+    };
+    Net net;
+    bool hasNet = false;
+    /// @}
+
     /** @name Accelerator pipeline (HAAC sim backend) */
     /// @{
     CompileStats compile;

@@ -63,6 +63,22 @@ Session::withLabel(std::string label)
 }
 
 Session &
+Session::withRemote(Role role, std::string endpoint, std::string spec)
+{
+    remoteRole_ = role;
+    remoteEndpoint_ = std::move(endpoint);
+    remoteSpec_ = std::move(spec);
+    return *this;
+}
+
+Session &
+Session::withSegmentTables(uint32_t tables)
+{
+    segmentTables_ = tables > 0 ? tables : 1;
+    return *this;
+}
+
+Session &
 Session::withOutputs(bool want)
 {
     wantOutputs_ = want;

@@ -58,6 +58,18 @@ class Session
     /** Caller tag copied into every RunReport (sweep labels). */
     Session &withLabel(std::string label);
     /**
+     * Networked execution (the "remote-gc" backend): which GC role
+     * this process plays and where the peer is. @p endpoint is
+     * "host:port" to connect or "listen:port" / "listen:host:port"
+     * to accept one connection. @p spec is sent when the peer turns
+     * out to be a haac_server ("Million:32", "Hamm", ...); peers
+     * with their own circuit ignore it.
+     */
+    Session &withRemote(Role role, std::string endpoint,
+                        std::string spec = "");
+    /** Garbled tables per streamed segment frame (remote backends). */
+    Session &withSegmentTables(uint32_t tables);
+    /**
      * Whether simulation backends should also interpret the compiled
      * program to produce circuit outputs (default true). Benchmarks
      * that only read timing turn this off to skip the plaintext pass.
@@ -80,6 +92,10 @@ class Session
     const HaacConfig &config() const { return config_; }
     SimMode mode() const { return mode_; }
     bool wantOutputs() const { return wantOutputs_; }
+    Role remoteRole() const { return remoteRole_; }
+    const std::string &remoteEndpoint() const { return remoteEndpoint_; }
+    const std::string &remoteSpec() const { return remoteSpec_; }
+    uint32_t segmentTables() const { return segmentTables_; }
 
     /** Do the stored inputs match the circuit's input shape? */
     bool inputsMatchCircuit() const;
@@ -132,6 +148,10 @@ class Session
     HaacConfig config_;
     SimMode mode_ = SimMode::Combined;
     bool wantOutputs_ = true;
+    Role remoteRole_ = Role::Evaluator;
+    std::string remoteEndpoint_;
+    std::string remoteSpec_;
+    uint32_t segmentTables_ = 1024;
 };
 
 } // namespace haac

@@ -5,16 +5,17 @@ namespace haac {
 void
 OtSender::send(const Label &m0, const Label &m1, bool receiver_choice)
 {
-    // Two pads per transfer; the receiver's PRG (same seed) can strip
-    // only the pad matching its choice bit. The non-chosen message
-    // stays masked by a pad the receiver never derives.
+    // Two shared pads per transfer; the receiver's PRG (same seed)
+    // derives both, but the non-chosen ciphertext is additionally
+    // burned with a pad from the sender-private PRG, which never
+    // leaves this endpoint. The receiver can therefore strip exactly
+    // one mask — its choice — and the other ciphertext stays
+    // information-free to it, as a real OT guarantees.
     Label pad0 = prg_.nextLabel();
     Label pad1 = prg_.nextLabel();
-    // In the simulation the "un-derivable" pad is modeled by burning
-    // the non-chosen pad with a second PRG step the receiver skips.
-    channel_->sendLabel(m0 ^ pad0);
-    channel_->sendLabel(m1 ^ pad1);
-    (void)receiver_choice;
+    Label burn = burn_.nextLabel();
+    channel_->sendLabel(m0 ^ pad0 ^ (receiver_choice ? burn : Label()));
+    channel_->sendLabel(m1 ^ pad1 ^ (receiver_choice ? Label() : burn));
 }
 
 Label

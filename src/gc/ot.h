@@ -28,9 +28,20 @@ namespace haac {
 class OtSender
 {
   public:
-    /** @param seed randomness for the masking pads. */
-    OtSender(Channel &to_receiver, uint64_t seed)
-        : channel_(&to_receiver), prg_(seed)
+    /**
+     * @param seed shared randomness for the masking pads (the
+     *        receiver holds the same seed).
+     * @param private_seed sender-only randomness that burns the
+     *        non-chosen ciphertext; it must never reach the receiver
+     *        (that is what makes "the evaluator never sees both
+     *        labels" hold even in the simulation). Defaults to a
+     *        fixed mix of @p seed for in-process runs where both
+     *        endpoints live in one address space anyway.
+     */
+    OtSender(ByteChannel &to_receiver, uint64_t seed,
+             uint64_t private_seed = 0)
+        : channel_(&to_receiver), prg_(seed),
+          burn_(private_seed ? private_seed : ~seed * 0x6275726eull)
     {}
 
     /**
@@ -42,15 +53,16 @@ class OtSender
     void send(const Label &m0, const Label &m1, bool receiver_choice);
 
   private:
-    Channel *channel_;
+    ByteChannel *channel_;
     Prg prg_;
+    Prg burn_; ///< sender-private; masks the non-chosen message
 };
 
 /** Simulated OT receiver endpoint. */
 class OtReceiver
 {
   public:
-    OtReceiver(Channel &from_sender, uint64_t seed)
+    OtReceiver(ByteChannel &from_sender, uint64_t seed)
         : channel_(&from_sender), prg_(seed)
     {}
 
@@ -58,7 +70,7 @@ class OtReceiver
     Label receive(bool choice);
 
   private:
-    Channel *channel_;
+    ByteChannel *channel_;
     Prg prg_;
 };
 

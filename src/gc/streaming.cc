@@ -8,39 +8,59 @@
 
 namespace haac {
 
+StreamingGarbler::StreamingGarbler(const Netlist &netlist, uint64_t seed)
+    : netlist_(&netlist)
+{
+    Prg prg(seed);
+    r_ = prg.nextLabel();
+    r_.setLsb(true);
+
+    zero_.resize(netlist.numWires());
+    for (uint32_t w = 0; w < netlist.numInputs(); ++w)
+        zero_[w] = prg.nextLabel();
+}
+
+void
+StreamingGarbler::run(const TableSink &sink)
+{
+    if (ran_)
+        throw std::logic_error("StreamingGarbler::run called twice");
+    ran_ = true;
+
+    uint64_t and_index = 0;
+    for (uint32_t g = 0; g < netlist_->numGates(); ++g) {
+        const Gate &gate = netlist_->gates[g];
+        const WireId wout = netlist_->outputWireOf(g);
+        if (gate.op == GateOp::Xor) {
+            zero_[wout] = zero_[gate.a] ^ zero_[gate.b];
+        } else {
+            HalfGateGarbled hg =
+                garbleAnd(zero_[gate.a], zero_[gate.b], r_, and_index++);
+            sink(hg.table);
+            ++tablesEmitted_;
+            zero_[wout] = hg.outZero;
+        }
+    }
+    outZero_.reserve(netlist_->outputs.size());
+    for (WireId w : netlist_->outputs)
+        outZero_.push_back(zero_[w]);
+}
+
 StreamedGarbling
 garbleStreaming(const Netlist &netlist, uint64_t seed,
                 const TableSink &sink)
 {
+    StreamingGarbler sg(netlist, seed);
+
     StreamedGarbling out;
-    Prg prg(seed);
-    Label r = prg.nextLabel();
-    r.setLsb(true);
-    out.globalOffset = r;
-
-    std::vector<Label> zero(netlist.numWires());
+    out.globalOffset = sg.globalOffset();
+    out.inputZeroLabels.reserve(netlist.numInputs());
     for (uint32_t w = 0; w < netlist.numInputs(); ++w)
-        zero[w] = prg.nextLabel();
-    out.inputZeroLabels.assign(zero.begin(),
-                               zero.begin() + netlist.numInputs());
+        out.inputZeroLabels.push_back(sg.inputZeroLabel(w));
 
-    uint64_t and_index = 0;
-    for (uint32_t g = 0; g < netlist.numGates(); ++g) {
-        const Gate &gate = netlist.gates[g];
-        const WireId wout = netlist.outputWireOf(g);
-        if (gate.op == GateOp::Xor) {
-            zero[wout] = zero[gate.a] ^ zero[gate.b];
-        } else {
-            HalfGateGarbled hg =
-                garbleAnd(zero[gate.a], zero[gate.b], r, and_index++);
-            sink(hg.table);
-            ++out.tablesEmitted;
-            zero[wout] = hg.outZero;
-        }
-    }
-    out.outputZeroLabels.reserve(netlist.outputs.size());
-    for (WireId w : netlist.outputs)
-        out.outputZeroLabels.push_back(zero[w]);
+    sg.run(sink);
+    out.outputZeroLabels = sg.outputZeroLabels();
+    out.tablesEmitted = sg.tablesEmitted();
     return out;
 }
 

@@ -48,6 +48,63 @@ StreamedGarbling garbleStreaming(const Netlist &netlist, uint64_t seed,
                                  const TableSink &sink);
 
 /**
+ * Two-phase streaming garbler, for protocols that must transfer input
+ * labels *before* the table stream starts (a remote evaluator needs
+ * its input labels up front so it can consume tables as they arrive).
+ *
+ * Construction draws the global offset and all primary-input labels —
+ * from the same PRG sequence as Garbler / garbleStreaming, so the
+ * result is bit-identical — and run() then garbles the gates, emitting
+ * each table the moment it exists.
+ */
+class StreamingGarbler
+{
+  public:
+    StreamingGarbler(const Netlist &netlist, uint64_t seed);
+
+    const Netlist &netlist() const { return *netlist_; }
+    const Label &globalOffset() const { return r_; }
+
+    /** Zero-label of a primary input wire (w < numInputs()). */
+    const Label &inputZeroLabel(WireId w) const { return zero_[w]; }
+
+    /** Active label encoding @p value on primary input wire @p w. */
+    Label
+    activeLabel(WireId w, bool value) const
+    {
+        return value ? zero_[w] ^ r_ : zero_[w];
+    }
+
+    /**
+     * Garble every gate in order, streaming AND tables to @p sink.
+     *
+     * Callable once; afterwards the output accessors below are valid.
+     */
+    void run(const TableSink &sink);
+
+    /** @name Valid after run() */
+    /// @{
+    const std::vector<Label> &outputZeroLabels() const { return outZero_; }
+    uint64_t tablesEmitted() const { return tablesEmitted_; }
+
+    /** Output decode bit i (lsb of the output's zero label). */
+    bool
+    decodeBit(size_t i) const
+    {
+        return outZero_[i].lsb();
+    }
+    /// @}
+
+  private:
+    const Netlist *netlist_;
+    Label r_;
+    std::vector<Label> zero_; ///< inputs at ctor; all wires after run()
+    std::vector<Label> outZero_;
+    uint64_t tablesEmitted_ = 0;
+    bool ran_ = false;
+};
+
+/**
  * Evaluate with tables pulled on demand from @p source (in order).
  *
  * @return active labels of the primary outputs.

@@ -1,0 +1,105 @@
+#include "net/loopback.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+
+namespace haac {
+
+/** One direction of the loopback connection. */
+struct LoopbackTransport::Pipe
+{
+    std::mutex mutex;
+    std::condition_variable readable;
+    std::deque<uint8_t> bytes;
+    bool closed = false;
+
+    void
+    write(const uint8_t *data, size_t n)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (closed)
+                throw NetError("loopback: peer closed");
+            bytes.insert(bytes.end(), data, data + n);
+        }
+        readable.notify_one();
+    }
+
+    void
+    read(uint8_t *data, size_t n)
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        for (size_t got = 0; got < n;) {
+            readable.wait(lock, [&] {
+                return !bytes.empty() || closed;
+            });
+            if (bytes.empty())
+                throw NetError("loopback: peer closed");
+            const size_t take =
+                std::min(n - got, bytes.size());
+            std::copy(bytes.begin(), bytes.begin() + long(take),
+                      data + got);
+            bytes.erase(bytes.begin(), bytes.begin() + long(take));
+            got += take;
+        }
+    }
+
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            closed = true;
+        }
+        readable.notify_all();
+    }
+};
+
+LoopbackTransport::LoopbackTransport(std::shared_ptr<Pipe> out,
+                                     std::shared_ptr<Pipe> in,
+                                     const char *side)
+    : out_(std::move(out)), in_(std::move(in)), side_(side)
+{
+}
+
+LoopbackTransport::~LoopbackTransport()
+{
+    out_->close();
+    in_->close();
+}
+
+std::pair<std::unique_ptr<LoopbackTransport>,
+          std::unique_ptr<LoopbackTransport>>
+LoopbackTransport::createPair()
+{
+    auto a_to_b = std::make_shared<Pipe>();
+    auto b_to_a = std::make_shared<Pipe>();
+    std::unique_ptr<LoopbackTransport> a(
+        new LoopbackTransport(a_to_b, b_to_a, "loopback:a"));
+    std::unique_ptr<LoopbackTransport> b(
+        new LoopbackTransport(b_to_a, a_to_b, "loopback:b"));
+    return {std::move(a), std::move(b)};
+}
+
+void
+LoopbackTransport::writeAll(const uint8_t *data, size_t n)
+{
+    out_->write(data, n);
+}
+
+void
+LoopbackTransport::readAll(uint8_t *data, size_t n)
+{
+    in_->read(data, n);
+}
+
+std::string
+LoopbackTransport::describe() const
+{
+    return side_;
+}
+
+} // namespace haac

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * LoopbackTransport: an in-memory, thread-safe Transport pair.
+ *
+ * Tests and CI exercise the full remote protocol — framing, handshake,
+ * segmented table streaming, the multi-session server — without
+ * binding a single port: createPair() returns two connected endpoints
+ * backed by two mutex/condvar byte queues, one per direction. Blocking
+ * semantics match TCP (reads wait for data; reading a closed, drained
+ * pipe raises NetError like a peer hangup), so protocol code cannot
+ * tell the difference.
+ */
+#ifndef HAAC_NET_LOOPBACK_H
+#define HAAC_NET_LOOPBACK_H
+
+#include <memory>
+#include <utility>
+
+#include "net/transport.h"
+
+namespace haac {
+
+class LoopbackTransport : public Transport
+{
+  public:
+    /** Two connected endpoints; either may live on any thread. */
+    static std::pair<std::unique_ptr<LoopbackTransport>,
+                     std::unique_ptr<LoopbackTransport>>
+    createPair();
+
+    /** Destruction closes both directions (peer reads then fail). */
+    ~LoopbackTransport() override;
+
+    void writeAll(const uint8_t *data, size_t n) override;
+    void readAll(uint8_t *data, size_t n) override;
+    std::string describe() const override;
+
+  private:
+    struct Pipe;
+    LoopbackTransport(std::shared_ptr<Pipe> out, std::shared_ptr<Pipe> in,
+                      const char *side);
+
+    std::shared_ptr<Pipe> out_;
+    std::shared_ptr<Pipe> in_;
+    const char *side_;
+};
+
+} // namespace haac
+
+#endif // HAAC_NET_LOOPBACK_H

@@ -1,0 +1,304 @@
+#include "net/remote.h"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "gc/ot.h"
+#include "gc/streaming.h"
+#include "net/net_channel.h"
+
+namespace haac {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/**
+ * OT pad seed, derived from (not equal to) the garbling seed: the
+ * evaluator learns it in cleartext (the OT is simulated — see
+ * DESIGN.md), so at least don't hand over the label-generating seed
+ * itself. SplitMix64 finalizer.
+ */
+uint64_t
+otSeedFrom(uint64_t seed)
+{
+    uint64_t z = seed + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Circuit agreement check + OT seed + segmenting, 36 bytes. */
+struct Fingerprint
+{
+    uint32_t garblerInputs = 0;
+    uint32_t evaluatorInputs = 0;
+    uint32_t gates = 0;
+    uint32_t andGates = 0;
+    uint32_t outputs = 0;
+    uint32_t constOne = 0;
+    uint64_t otSeed = 0;
+    uint32_t segmentTables = 0;
+
+    static constexpr size_t kBytes = 6 * 4 + 8 + 4;
+
+    static Fingerprint
+    of(const Netlist &nl)
+    {
+        Fingerprint fp;
+        fp.garblerInputs = nl.numGarblerInputs;
+        fp.evaluatorInputs = nl.numEvaluatorInputs;
+        fp.gates = nl.numGates();
+        fp.andGates = nl.numAndGates();
+        fp.outputs = uint32_t(nl.outputs.size());
+        fp.constOne = nl.constOne;
+        return fp;
+    }
+
+    void
+    serialize(uint8_t out[kBytes]) const
+    {
+        size_t at = 0;
+        auto u32 = [&](uint32_t v) {
+            for (int i = 0; i < 4; ++i)
+                out[at++] = uint8_t(v >> (8 * i));
+        };
+        u32(garblerInputs);
+        u32(evaluatorInputs);
+        u32(gates);
+        u32(andGates);
+        u32(outputs);
+        u32(constOne);
+        for (int i = 0; i < 8; ++i)
+            out[at++] = uint8_t(otSeed >> (8 * i));
+        u32(segmentTables);
+    }
+
+    static Fingerprint
+    deserialize(const uint8_t in[kBytes])
+    {
+        size_t at = 0;
+        auto u32 = [&] {
+            uint32_t v = 0;
+            for (int i = 0; i < 4; ++i)
+                v |= uint32_t(in[at++]) << (8 * i);
+            return v;
+        };
+        Fingerprint fp;
+        fp.garblerInputs = u32();
+        fp.evaluatorInputs = u32();
+        fp.gates = u32();
+        fp.andGates = u32();
+        fp.outputs = u32();
+        fp.constOne = u32();
+        uint64_t seed = 0;
+        for (int i = 0; i < 8; ++i)
+            seed |= uint64_t(in[at++]) << (8 * i);
+        fp.otSeed = seed;
+        fp.segmentTables = u32();
+        return fp;
+    }
+
+    /** Shape equality (OT seed / segmenting are garbler's to pick). */
+    bool
+    sameCircuit(const Fingerprint &o) const
+    {
+        return garblerInputs == o.garblerInputs &&
+               evaluatorInputs == o.evaluatorInputs &&
+               gates == o.gates && andGates == o.andGates &&
+               outputs == o.outputs && constOne == o.constOne;
+    }
+
+    std::string
+    shapeString() const
+    {
+        return "g=" + std::to_string(garblerInputs) +
+               " e=" + std::to_string(evaluatorInputs) +
+               " gates=" + std::to_string(gates) +
+               " ands=" + std::to_string(andGates) +
+               " outs=" + std::to_string(outputs) +
+               " const=" + std::to_string(constOne);
+    }
+};
+
+uint32_t
+clampSegment(uint32_t segment_tables)
+{
+    return segment_tables > 0 ? segment_tables : 1;
+}
+
+} // namespace
+
+RemoteResult
+runRemoteGarbler(const Netlist &netlist,
+                 const std::vector<bool> &garbler_bits,
+                 Transport &transport, uint64_t seed,
+                 const RemoteOptions &opts)
+{
+    if (garbler_bits.size() != netlist.numGarblerInputs)
+        throw std::invalid_argument(
+            "runRemoteGarbler: wrong garbler input count");
+
+    const uint32_t segment_tables = clampSegment(opts.segmentTables);
+    const auto start = Clock::now();
+
+    RemoteResult res;
+    res.gates = netlist.numGates();
+    res.segmentTables = segment_tables;
+    NetChannel chan(transport, size_t(segment_tables) * kTableBytes);
+
+    // Fingerprint: agree on the circuit before any label moves.
+    Fingerprint fp = Fingerprint::of(netlist);
+    fp.otSeed = otSeedFrom(seed);
+    fp.segmentTables = segment_tables;
+    uint8_t fp_bytes[Fingerprint::kBytes];
+    fp.serialize(fp_bytes);
+    chan.sendBytes(fp_bytes, sizeof(fp_bytes));
+    chan.flush();
+    res.controlBytes += sizeof(fp_bytes);
+
+    // Evaluator's OT choice bits (the uplink a real OT would use).
+    std::vector<uint8_t> choices(netlist.numEvaluatorInputs);
+    if (!choices.empty())
+        chan.recvBytes(choices.data(), choices.size());
+    res.controlBytes += choices.size();
+
+    StreamingGarbler garbler(netlist, seed);
+
+    // Garbler's own input labels.
+    size_t base = chan.bytesSent();
+    uint32_t w = 0;
+    for (uint32_t i = 0; i < netlist.numGarblerInputs; ++i, ++w)
+        chan.sendLabel(garbler.activeLabel(w, garbler_bits[i]));
+    res.inputLabelBytes = chan.bytesSent() - base;
+
+    // Evaluator inputs via simulated OT, then the public constant.
+    base = chan.bytesSent();
+    const uint32_t eval_base = w;
+    // The burn seed derives from the garbling seed the evaluator never
+    // learns — across the wire, the non-chosen label is genuinely
+    // unrecoverable.
+    OtSender ot(chan, fp.otSeed, otSeedFrom(~seed));
+    for (uint32_t i = 0; i < netlist.numEvaluatorInputs; ++i) {
+        const WireId wire = eval_base + i;
+        ot.send(garbler.activeLabel(wire, false),
+                garbler.activeLabel(wire, true), choices[i] != 0);
+    }
+    if (netlist.constOne != kNoWire)
+        chan.sendLabel(garbler.activeLabel(netlist.constOne, true));
+    res.otBytes = chan.bytesSent() - base;
+    chan.flush();
+
+    // Table stream: one frame per segment of tables.
+    base = chan.bytesSent();
+    const uint64_t frames_before = transport.framesSent();
+    garbler.run([&](const GarbledTable &t) { chan.sendTable(t); });
+    chan.flush();
+    res.tableBytes = chan.bytesSent() - base;
+    res.tableSegments = transport.framesSent() - frames_before;
+
+    // Output decode bits.
+    base = chan.bytesSent();
+    for (size_t i = 0; i < netlist.outputs.size(); ++i)
+        chan.sendBit(garbler.decodeBit(i));
+    res.outputDecodeBytes = chan.bytesSent() - base;
+    chan.flush();
+
+    // Result echo: the evaluator decodes first and shares the output.
+    res.outputs.resize(netlist.outputs.size());
+    for (size_t i = 0; i < res.outputs.size(); ++i)
+        res.outputs[i] = chan.recvBit();
+    res.controlBytes += res.outputs.size();
+
+    res.totalBytes = res.tableBytes + res.inputLabelBytes + res.otBytes +
+                     res.outputDecodeBytes;
+    res.seconds = std::chrono::duration<double>(Clock::now() - start)
+                      .count();
+    return res;
+}
+
+RemoteResult
+runRemoteEvaluator(const Netlist &netlist,
+                   const std::vector<bool> &evaluator_bits,
+                   Transport &transport, const RemoteOptions &opts)
+{
+    if (evaluator_bits.size() != netlist.numEvaluatorInputs)
+        throw std::invalid_argument(
+            "runRemoteEvaluator: wrong evaluator input count");
+
+    const auto start = Clock::now();
+    RemoteResult res;
+    res.gates = netlist.numGates();
+    NetChannel chan(transport,
+                    size_t(clampSegment(opts.segmentTables)) *
+                        kTableBytes);
+
+    uint8_t fp_bytes[Fingerprint::kBytes];
+    chan.recvBytes(fp_bytes, sizeof(fp_bytes));
+    res.controlBytes += sizeof(fp_bytes);
+    const Fingerprint remote_fp = Fingerprint::deserialize(fp_bytes);
+    res.segmentTables = remote_fp.segmentTables;
+    const Fingerprint local_fp = Fingerprint::of(netlist);
+    if (!remote_fp.sameCircuit(local_fp))
+        throw NetError("remote circuit mismatch: local {" +
+                       local_fp.shapeString() + "} vs garbler {" +
+                       remote_fp.shapeString() + "}");
+
+    // Send OT choice bits.
+    std::vector<uint8_t> choices(netlist.numEvaluatorInputs);
+    for (uint32_t i = 0; i < netlist.numEvaluatorInputs; ++i)
+        choices[i] = evaluator_bits[i] ? 1 : 0;
+    if (!choices.empty())
+        chan.sendBytes(choices.data(), choices.size());
+    chan.flush();
+    res.controlBytes += choices.size();
+
+    // Garbler input labels.
+    std::vector<Label> inputs(netlist.numInputs());
+    size_t base = chan.bytesReceived();
+    for (uint32_t i = 0; i < netlist.numGarblerInputs; ++i)
+        inputs[i] = chan.recvLabel();
+    res.inputLabelBytes = chan.bytesReceived() - base;
+
+    // Own inputs via OT + the public constant.
+    base = chan.bytesReceived();
+    const uint32_t eval_base = netlist.numGarblerInputs;
+    OtReceiver ot(chan, remote_fp.otSeed);
+    for (uint32_t i = 0; i < netlist.numEvaluatorInputs; ++i)
+        inputs[eval_base + i] = ot.receive(evaluator_bits[i]);
+    if (netlist.constOne != kNoWire)
+        inputs[netlist.constOne] = chan.recvLabel();
+    res.otBytes = chan.bytesReceived() - base;
+
+    // Evaluate, pulling tables from the stream as they arrive.
+    base = chan.bytesReceived();
+    const uint64_t frames_before = transport.framesReceived();
+    std::vector<Label> out_labels = evaluateStreaming(
+        netlist, inputs, [&] { return chan.recvTable(); });
+    res.tableBytes = chan.bytesReceived() - base;
+    res.tableSegments = transport.framesReceived() - frames_before;
+
+    // Decode.
+    base = chan.bytesReceived();
+    res.outputs.resize(out_labels.size());
+    std::vector<bool> decode(netlist.outputs.size());
+    for (size_t i = 0; i < decode.size(); ++i)
+        decode[i] = chan.recvBit();
+    res.outputDecodeBytes = chan.bytesReceived() - base;
+    for (size_t i = 0; i < out_labels.size(); ++i)
+        res.outputs[i] = out_labels[i].lsb() != decode[i];
+
+    // Echo the result so the garbler learns it too.
+    for (bool b : res.outputs)
+        chan.sendBit(b);
+    chan.flush();
+    res.controlBytes += res.outputs.size();
+
+    res.totalBytes = res.tableBytes + res.inputLabelBytes + res.otBytes +
+                     res.outputDecodeBytes;
+    res.seconds = std::chrono::duration<double>(Clock::now() - start)
+                      .count();
+    return res;
+}
+
+} // namespace haac

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The two-machine GC protocol: one side of runProtocol() per process.
+ *
+ * Both parties hold the same Netlist (the circuit is public; a
+ * 36-byte fingerprint exchanged up front catches disagreement before
+ * any label moves). The garbler then streams — input labels, OT
+ * messages, garbled tables in segments, decode bits — while the
+ * evaluator consumes tables the moment they arrive via the
+ * gc/streaming machinery, so neither side ever materializes the
+ * table vector: memory stays O(wires) while communication is
+ * O(AND gates).
+ *
+ * Byte accounting matches the in-process ProtocolResult *exactly*,
+ * category by category (tables, input labels, OT, output decode):
+ * the categories count protocol payload in the garbler→evaluator
+ * direction, measured identically by both sides. The evaluator's
+ * uplink (OT choice bits, the result echo that lets the garbler
+ * learn the output too) and the circuit fingerprint are control
+ * traffic, reported separately — the in-process baseline has no
+ * analogue for them.
+ */
+#ifndef HAAC_NET_REMOTE_H
+#define HAAC_NET_REMOTE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "net/transport.h"
+
+namespace haac {
+
+struct RemoteOptions
+{
+    /** Garbled tables per streamed segment frame (>= 1). */
+    uint32_t segmentTables = 1024;
+};
+
+/** One party's view of a completed remote execution. */
+struct RemoteResult
+{
+    /** Decoded circuit outputs (both parties learn them). */
+    std::vector<bool> outputs;
+
+    /** @name Garbler→evaluator payload, same categories as
+     *  ProtocolResult (identical on both sides of the wire). */
+    /// @{
+    uint64_t tableBytes = 0;
+    uint64_t inputLabelBytes = 0;
+    uint64_t otBytes = 0;
+    uint64_t outputDecodeBytes = 0;
+    uint64_t totalBytes = 0;
+    /// @}
+
+    /** Fingerprint + choice bits + result echo (both directions). */
+    uint64_t controlBytes = 0;
+    /** Frames the table stream used (one per segment). */
+    uint64_t tableSegments = 0;
+    /**
+     * Tables per segment the garbler actually streamed with — the
+     * garbler's setting, carried to the evaluator in the fingerprint
+     * (the evaluator's own option does not shape the stream).
+     */
+    uint32_t segmentTables = 0;
+    uint64_t gates = 0;
+    double seconds = 0;
+
+    double
+    gatesPerSecond() const
+    {
+        return seconds > 0 ? double(gates) / seconds : 0;
+    }
+};
+
+/**
+ * Run the garbler's side over an established (handshaken) transport.
+ *
+ * @param garbler_bits this party's input bits (size numGarblerInputs).
+ */
+RemoteResult runRemoteGarbler(const Netlist &netlist,
+                              const std::vector<bool> &garbler_bits,
+                              Transport &transport, uint64_t seed,
+                              const RemoteOptions &opts = {});
+
+/**
+ * Run the evaluator's side over an established (handshaken) transport.
+ *
+ * @param evaluator_bits this party's input bits.
+ */
+RemoteResult runRemoteEvaluator(const Netlist &netlist,
+                                const std::vector<bool> &evaluator_bits,
+                                Transport &transport,
+                                const RemoteOptions &opts = {});
+
+} // namespace haac
+
+#endif // HAAC_NET_REMOTE_H

@@ -1,0 +1,265 @@
+#include "net/server.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "workloads/priorwork.h"
+
+namespace haac {
+
+namespace {
+
+/** Parse "Name:arg" → (Name, arg); no colon → (spec, nullopt). */
+bool
+splitSpec(const std::string &spec, std::string &name, uint32_t &arg)
+{
+    const size_t colon = spec.find(':');
+    if (colon == std::string::npos)
+        return false;
+    name = spec.substr(0, colon);
+    const std::string tail = spec.substr(colon + 1);
+    if (tail.empty())
+        throw NetError("workload spec \"" + spec +
+                       "\": missing size argument");
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(tail.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || v == 0 || v > (1u << 20))
+        throw NetError("workload spec \"" + spec +
+                       "\": bad size argument \"" + tail + "\"");
+    arg = uint32_t(v);
+    return true;
+}
+
+} // namespace
+
+Workload
+resolveWorkload(const std::string &spec)
+{
+    std::string name;
+    uint32_t arg = 0;
+    if (splitSpec(spec, name, arg)) {
+        if (name == "Million" || name == "millionaire")
+            return makeMillionaire(arg);
+        if (name == "Adder")
+            return makeAdder(arg);
+        if (name == "Mult")
+            return makeMultiplier(arg);
+        throw NetError("unknown workload spec \"" + spec + "\"");
+    }
+    if (spec == "AES128" || spec == "aes128")
+        return makeAes128();
+    try {
+        return vipWorkload(spec, false);
+    } catch (const std::invalid_argument &) {
+        throw NetError("unknown workload spec \"" + spec + "\"");
+    }
+}
+
+PeerRole
+clientHello(Transport &transport, PeerRole self, const std::string &spec)
+{
+    const PeerRole peer = transport.handshake(self);
+    if (peer != PeerRole::Server)
+        return peer; // peer flavor: straight into the protocol
+
+    std::vector<uint8_t> request(spec.begin(), spec.end());
+    transport.sendFrame(request);
+    const std::vector<uint8_t> ack = transport.recvFrame();
+    if (ack.empty())
+        throw NetError("server sent an empty session ack");
+    const std::string message(ack.begin() + 1, ack.end());
+    if (ack[0] == 0)
+        throw NetError("server refused session: " + message);
+    return peer;
+}
+
+RunReport
+makeRemoteReport(const RemoteResult &result, Role role,
+                 const Transport &transport)
+{
+    RunReport report;
+    report.backend = "remote-gc";
+    report.outputs = result.outputs;
+    report.hasOutputs = true;
+    report.comm.tableBytes = result.tableBytes;
+    report.comm.inputLabelBytes = result.inputLabelBytes;
+    report.comm.otBytes = result.otBytes;
+    report.comm.outputDecodeBytes = result.outputDecodeBytes;
+    report.comm.totalBytes = result.totalBytes;
+    report.hasComm = true;
+    report.net.role = role;
+    report.net.endpoint = transport.describe();
+    report.net.rawBytesSent = transport.rawBytesSent();
+    report.net.rawBytesReceived = transport.rawBytesReceived();
+    report.net.controlBytes = result.controlBytes;
+    report.net.tableSegments = result.tableSegments;
+    report.net.segmentTables = result.segmentTables;
+    report.net.gates = result.gates;
+    report.net.gatesPerSecond = result.gatesPerSecond();
+    report.hasNet = true;
+    report.hostSeconds = result.seconds;
+    return report;
+}
+
+GcServer::GcServer(ServerOptions opts) : opts_(opts)
+{
+    if (opts_.threads == 0)
+        opts_.threads = 1;
+    workers_.reserve(opts_.threads);
+    for (uint32_t i = 0; i < opts_.threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+GcServer::~GcServer()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+GcServer::submit(std::unique_ptr<Transport> transport)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stop_)
+            throw std::logic_error("GcServer::submit after shutdown");
+        queue_.push_back(std::move(transport));
+    }
+    wake_.notify_one();
+}
+
+void
+GcServer::serveTcp(TcpListener &listener)
+{
+    for (;;) {
+        std::unique_ptr<Transport> conn;
+        try {
+            conn = listener.accept();
+        } catch (const NetError &) {
+            return; // listener closed: wind down
+        }
+        submit(std::move(conn));
+    }
+}
+
+void
+GcServer::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+GcServer::Totals
+GcServer::totals() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return totals_;
+}
+
+void
+GcServer::workerLoop()
+{
+    for (;;) {
+        std::unique_ptr<Transport> transport;
+        uint64_t session_id = 0;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock,
+                       [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                if (stop_)
+                    return;
+                continue;
+            }
+            transport = std::move(queue_.front());
+            queue_.pop_front();
+            session_id = nextSessionId_++;
+            ++active_;
+        }
+
+        try {
+            serveOne(*transport, session_id);
+        } catch (const std::exception &e) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++totals_.sessionsFailed;
+            if (opts_.errors)
+                *opts_.errors << "session " << session_id
+                              << " failed: " << e.what() << "\n";
+        }
+
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --active_;
+        }
+        idle_.notify_all();
+    }
+}
+
+void
+GcServer::serveOne(Transport &transport, uint64_t session_id)
+{
+    const PeerRole client = transport.handshake(PeerRole::Server);
+    if (client == PeerRole::Server)
+        throw NetError("peer is also a server; no party would garble");
+
+    const std::vector<uint8_t> request = transport.recvFrame();
+    const std::string spec(request.begin(), request.end());
+
+    auto ack = [&](bool ok, const std::string &message) {
+        std::vector<uint8_t> frame;
+        frame.reserve(1 + message.size());
+        frame.push_back(ok ? 1 : 0);
+        frame.insert(frame.end(), message.begin(), message.end());
+        transport.sendFrame(frame);
+    };
+
+    Workload wl;
+    try {
+        if (spec.empty())
+            throw NetError("this server requires a workload spec "
+                           "(e.g. \"Million:32\")");
+        wl = resolveWorkload(spec);
+    } catch (const NetError &e) {
+        ack(false, e.what());
+        throw;
+    }
+    ack(true, wl.name);
+
+    RemoteOptions ropts;
+    ropts.segmentTables = opts_.segmentTables;
+    const Role server_role = client == PeerRole::Garbler
+                                 ? Role::Evaluator
+                                 : Role::Garbler;
+    RemoteResult result =
+        server_role == Role::Garbler
+            ? runRemoteGarbler(wl.netlist, wl.garblerBits, transport,
+                               opts_.seedBase + session_id, ropts)
+            : runRemoteEvaluator(wl.netlist, wl.evaluatorBits,
+                                 transport, ropts);
+
+    RunReport report = makeRemoteReport(result, server_role, transport);
+    report.workload = wl.name;
+    report.label = "session-" + std::to_string(session_id);
+    // Serialize outside any lock; the sink has its own mutex so slow
+    // report I/O never stalls the queue/totals lock the pool runs on.
+    const std::string json = opts_.reports ? report.toJson() : "";
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++totals_.sessionsServed;
+        totals_.payloadBytes += result.totalBytes;
+        totals_.gates += result.gates;
+        totals_.sessionSeconds += result.seconds;
+    }
+    if (opts_.reports) {
+        std::lock_guard<std::mutex> lock(reportMutex_);
+        *opts_.reports << json << "\n" << std::flush;
+    }
+}
+
+} // namespace haac

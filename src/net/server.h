@@ -1,0 +1,140 @@
+/**
+ * @file
+ * GcServer: N concurrent two-party GC sessions on a thread pool.
+ *
+ * Session establishment, both flavors:
+ *
+ *  - *Peer* (remote_millionaires): both processes hold the circuit;
+ *    after the transport handshake pairs a garbler with an evaluator
+ *    they go straight into the remote protocol.
+ *  - *Server* (haac_server): the server answers the handshake with
+ *    PeerRole::Server, the client follows with a workload-spec frame
+ *    ("Million:32", "Hamm", ...), the server resolves it against the
+ *    workload registry, acks, and plays whichever role the client did
+ *    not claim, using the workload's sample bits for its own inputs.
+ *
+ * clientHello() performs the client half of both flavors; GcServer
+ * workers perform the server half. Every completed session becomes
+ * one standard RunReport — comm accounting plus the net section
+ * (bytes, gates/s, wall time) — emitted as a JSON line to the
+ * configured sink, so a fleet of sessions accumulates the same
+ * trajectory format the benchmarks write.
+ */
+#ifndef HAAC_NET_SERVER_H
+#define HAAC_NET_SERVER_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/run_report.h"
+#include "net/remote.h"
+#include "net/tcp.h"
+#include "net/transport.h"
+#include "workloads/vip.h"
+
+namespace haac {
+
+/**
+ * Resolve a wire workload spec to a Workload.
+ *
+ * Accepts the Table 5 prior-work circuits with a size argument
+ * ("Million:32", "Adder:64", "Mult:8", "AES128") and every Table 2
+ * VIP name ("Hamm", "MatMult", ...; default scale).
+ *
+ * @throws NetError for an unknown spec (the server acks it back to
+ *         the client as a session error).
+ */
+Workload resolveWorkload(const std::string &spec);
+
+/**
+ * Client half of session establishment, both flavors.
+ *
+ * Handshakes as @p self; when the peer is a server, sends @p spec and
+ * waits for the ack (NetError carries the server's message when it
+ * refuses). Returns the peer's role. After this returns, run
+ * runRemoteGarbler/runRemoteEvaluator per @p self.
+ */
+PeerRole clientHello(Transport &transport, PeerRole self,
+                     const std::string &spec);
+
+/** Package one party's RemoteResult as the standard RunReport. */
+RunReport makeRemoteReport(const RemoteResult &result, Role role,
+                           const Transport &transport);
+
+struct ServerOptions
+{
+    /** Worker threads == maximum concurrent sessions. */
+    uint32_t threads = 4;
+    /** Garbled tables per streamed segment frame. */
+    uint32_t segmentTables = 1024;
+    /** Session i garbles with seedBase + i (when the server garbles). */
+    uint64_t seedBase = 0x4841414331ull;
+    /** Per-session RunReport JSON-Lines sink (null = don't emit). */
+    std::ostream *reports = nullptr;
+    /** Session-failure log sink (null = silent). */
+    std::ostream *errors = nullptr;
+};
+
+class GcServer
+{
+  public:
+    explicit GcServer(ServerOptions opts = {});
+
+    /** Stops accepting, drains queued sessions, joins the workers. */
+    ~GcServer();
+    GcServer(const GcServer &) = delete;
+    GcServer &operator=(const GcServer &) = delete;
+
+    /**
+     * Enqueue one established connection for a worker to serve
+     * (tests hand in LoopbackTransport endpoints; serveTcp() feeds
+     * accepted sockets through here).
+     */
+    void submit(std::unique_ptr<Transport> transport);
+
+    /**
+     * Accept-and-submit loop; returns when the listener is closed
+     * (listener.close() from another thread or a signal handler).
+     */
+    void serveTcp(TcpListener &listener);
+
+    /** Block until every submitted session has finished. */
+    void drain();
+
+    struct Totals
+    {
+        uint64_t sessionsServed = 0;
+        uint64_t sessionsFailed = 0;
+        uint64_t payloadBytes = 0; ///< garbler→evaluator protocol bytes
+        uint64_t gates = 0;
+        double sessionSeconds = 0; ///< summed per-session wall time
+    };
+    Totals totals() const;
+
+  private:
+    void workerLoop();
+    void serveOne(Transport &transport, uint64_t session_id);
+
+    ServerOptions opts_;
+    std::mutex reportMutex_; ///< guards only the reports sink
+    mutable std::mutex mutex_;
+    std::condition_variable wake_;  ///< workers: queue non-empty / stop
+    std::condition_variable idle_;  ///< drain(): queue empty, none active
+    std::deque<std::unique_ptr<Transport>> queue_;
+    std::vector<std::thread> workers_;
+    uint32_t active_ = 0;
+    uint64_t nextSessionId_ = 0;
+    bool stop_ = false;
+    Totals totals_;
+};
+
+} // namespace haac
+
+#endif // HAAC_NET_SERVER_H

@@ -1,0 +1,123 @@
+#include "net/transport.h"
+
+#include <cstring>
+
+namespace haac {
+
+namespace {
+
+constexpr uint8_t kMagic[4] = {'H', 'A', 'A', 'C'};
+
+void
+putU32(uint8_t *out, uint32_t v)
+{
+    out[0] = uint8_t(v);
+    out[1] = uint8_t(v >> 8);
+    out[2] = uint8_t(v >> 16);
+    out[3] = uint8_t(v >> 24);
+}
+
+uint32_t
+getU32(const uint8_t *in)
+{
+    return uint32_t(in[0]) | uint32_t(in[1]) << 8 |
+           uint32_t(in[2]) << 16 | uint32_t(in[3]) << 24;
+}
+
+} // namespace
+
+const char *
+peerRoleName(PeerRole role)
+{
+    switch (role) {
+    case PeerRole::Garbler:
+        return "garbler";
+    case PeerRole::Evaluator:
+        return "evaluator";
+    case PeerRole::Server:
+        return "server";
+    }
+    return "?";
+}
+
+void
+Transport::sendFrame(const uint8_t *payload, size_t n)
+{
+    if (n > kMaxFrameBytes)
+        throw NetError("sendFrame: payload of " + std::to_string(n) +
+                       " bytes exceeds the frame limit");
+    uint8_t header[4];
+    putU32(header, uint32_t(n));
+    writeAll(header, sizeof(header));
+    if (n > 0)
+        writeAll(payload, n);
+    countSent(sizeof(header) + n);
+    ++framesSent_;
+}
+
+void
+Transport::sendFrame(const std::vector<uint8_t> &payload)
+{
+    sendFrame(payload.data(), payload.size());
+}
+
+std::vector<uint8_t>
+Transport::recvFrame()
+{
+    uint8_t header[4];
+    readAll(header, sizeof(header));
+    const uint32_t n = getU32(header);
+    if (n > kMaxFrameBytes)
+        throw NetError("recvFrame: peer announced a " +
+                       std::to_string(n) +
+                       "-byte frame (limit " +
+                       std::to_string(kMaxFrameBytes) +
+                       "); stream is corrupt or not a HAAC peer");
+    std::vector<uint8_t> payload(n);
+    if (n > 0)
+        readAll(payload.data(), n);
+    countReceived(sizeof(header) + n);
+    ++framesReceived_;
+    return payload;
+}
+
+PeerRole
+Transport::handshake(PeerRole self)
+{
+    uint8_t hello[8];
+    std::memcpy(hello, kMagic, 4);
+    hello[4] = uint8_t(kVersion);
+    hello[5] = uint8_t(kVersion >> 8);
+    hello[6] = uint8_t(self);
+    hello[7] = 0;
+    writeAll(hello, sizeof(hello));
+    countSent(sizeof(hello));
+
+    uint8_t peer[8];
+    readAll(peer, sizeof(peer));
+    countReceived(sizeof(peer));
+
+    if (std::memcmp(peer, kMagic, 4) != 0)
+        throw NetError("handshake with " + describe() +
+                       ": bad magic (peer is not a HAAC endpoint)");
+    const uint16_t peer_version =
+        uint16_t(peer[4]) | uint16_t(uint16_t(peer[5]) << 8);
+    if (peer_version != kVersion)
+        throw NetError("handshake with " + describe() +
+                       ": protocol version mismatch (ours " +
+                       std::to_string(kVersion) + ", peer " +
+                       std::to_string(peer_version) + ")");
+    if (peer[6] > uint8_t(PeerRole::Server))
+        throw NetError("handshake with " + describe() +
+                       ": unknown peer role " +
+                       std::to_string(int(peer[6])));
+    const PeerRole peer_role = PeerRole(peer[6]);
+    // Garbler pairs with evaluator; Server adapts to its client.
+    if (peer_role == self && self != PeerRole::Server)
+        throw NetError("handshake with " + describe() +
+                       ": both endpoints claim the " +
+                       std::string(peerRoleName(self)) + " role");
+    return peer_role;
+}
+
+} // namespace haac

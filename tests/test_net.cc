@@ -1,0 +1,608 @@
+/**
+ * @file
+ * The src/net/ subsystem: framing + handshake, LoopbackTransport,
+ * NetChannel, the StreamingGarbler generalization, and the remote
+ * two-party protocol — pinned to the in-process software-gc baseline
+ * bit-for-bit and byte-for-byte (the acceptance invariant: wire
+ * payload must equal ProtocolResult accounting in every category).
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "api/session.h"
+#include "circuit/builder.h"
+#include "circuit/stdlib.h"
+#include "gc/garbler.h"
+#include "gc/protocol.h"
+#include "gc/streaming.h"
+#include "net/loopback.h"
+#include "net/net_channel.h"
+#include "net/remote.h"
+#include "net/tcp.h"
+#include "workloads/priorwork.h"
+
+using namespace haac;
+
+namespace {
+
+/** Run @p fn on a thread; rethrow anything it threw on join. */
+class PeerThread
+{
+  public:
+    template <typename Fn>
+    explicit PeerThread(Fn fn)
+        : thread_([this, fn = std::move(fn)]() mutable {
+              try {
+                  fn();
+              } catch (...) {
+                  error_ = std::current_exception();
+              }
+          })
+    {
+    }
+
+    void
+    join()
+    {
+        thread_.join();
+        if (error_)
+            std::rethrow_exception(error_);
+    }
+
+  private:
+    std::exception_ptr error_; ///< declared before thread_: the
+                               ///< thread may write it immediately
+    std::thread thread_;
+};
+
+Netlist
+adderCircuit(uint32_t bits)
+{
+    CircuitBuilder cb;
+    Bits a = cb.garblerInputs(bits);
+    Bits b = cb.evaluatorInputs(bits);
+    cb.addOutputs(addBits(cb, a, b));
+    return cb.build();
+}
+
+/** Both remote sides over loopback; returns {garbler, evaluator}. */
+std::pair<RemoteResult, RemoteResult>
+runRemotePair(const Netlist &nl, const std::vector<bool> &gbits,
+              const std::vector<bool> &ebits, uint64_t seed,
+              uint32_t segment_tables)
+{
+    auto [gend, eend] = LoopbackTransport::createPair();
+    RemoteOptions opts;
+    opts.segmentTables = segment_tables;
+    RemoteResult gres, eres;
+    PeerThread garbler([&, t = std::move(gend)] {
+        t->handshake(PeerRole::Garbler);
+        gres = runRemoteGarbler(nl, gbits, *t, seed, opts);
+    });
+    eend->handshake(PeerRole::Evaluator);
+    eres = runRemoteEvaluator(nl, ebits, *eend, opts);
+    garbler.join();
+    return {gres, eres};
+}
+
+void
+expectMatchesProtocol(const Netlist &nl, const std::vector<bool> &gbits,
+                      const std::vector<bool> &ebits, uint64_t seed,
+                      uint32_t segment_tables)
+{
+    const ProtocolResult ref = runProtocol(nl, gbits, ebits, seed);
+    auto [gres, eres] =
+        runRemotePair(nl, gbits, ebits, seed, segment_tables);
+
+    for (const RemoteResult *r : {&gres, &eres}) {
+        EXPECT_EQ(r->outputs, ref.outputs);
+        EXPECT_EQ(r->tableBytes, ref.tableBytes);
+        EXPECT_EQ(r->inputLabelBytes, ref.inputLabelBytes);
+        EXPECT_EQ(r->otBytes, ref.otBytes);
+        EXPECT_EQ(r->outputDecodeBytes, ref.outputDecodeBytes);
+        EXPECT_EQ(r->totalBytes, ref.totalBytes);
+    }
+    EXPECT_EQ(gres.tableSegments, eres.tableSegments);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Transport framing and handshake
+// ---------------------------------------------------------------------------
+
+TEST(Transport, FrameRoundtripWithCounters)
+{
+    auto [a, b] = LoopbackTransport::createPair();
+    const std::vector<uint8_t> small = {1, 2, 3};
+    std::vector<uint8_t> big(100000);
+    for (size_t i = 0; i < big.size(); ++i)
+        big[i] = uint8_t(i * 7);
+
+    a->sendFrame(small);
+    a->sendFrame(std::vector<uint8_t>{}); // empty frames are legal
+    a->sendFrame(big);
+    EXPECT_EQ(a->framesSent(), 3u);
+    EXPECT_EQ(a->rawBytesSent(), 3 * 4 + small.size() + big.size());
+
+    EXPECT_EQ(b->recvFrame(), small);
+    EXPECT_TRUE(b->recvFrame().empty());
+    EXPECT_EQ(b->recvFrame(), big);
+    EXPECT_EQ(b->framesReceived(), 3u);
+    EXPECT_EQ(b->rawBytesReceived(), a->rawBytesSent());
+}
+
+TEST(Transport, HandshakePairsComplementaryRoles)
+{
+    auto [a, b] = LoopbackTransport::createPair();
+    PeerThread peer([&, t = b.get()] {
+        EXPECT_EQ(t->handshake(PeerRole::Evaluator), PeerRole::Garbler);
+    });
+    EXPECT_EQ(a->handshake(PeerRole::Garbler), PeerRole::Evaluator);
+    peer.join();
+}
+
+TEST(Transport, HandshakeRejectsRoleCollision)
+{
+    auto [a, b] = LoopbackTransport::createPair();
+    PeerThread peer([&, t = b.get()] {
+        try {
+            t->handshake(PeerRole::Garbler);
+        } catch (const NetError &) {
+        }
+    });
+    EXPECT_THROW(a->handshake(PeerRole::Garbler), NetError);
+    peer.join();
+}
+
+TEST(Transport, HandshakeRejectsBadMagicAndVersion)
+{
+    {
+        auto [a, b] = LoopbackTransport::createPair();
+        const uint8_t junk[8] = {'N', 'O', 'P', 'E', 1, 0, 0, 0};
+        b->writeAll(junk, sizeof(junk));
+        EXPECT_THROW(a->handshake(PeerRole::Garbler), NetError);
+    }
+    {
+        auto [a, b] = LoopbackTransport::createPair();
+        const uint8_t future[8] = {'H', 'A', 'A', 'C', 99, 0, 1, 0};
+        b->writeAll(future, sizeof(future));
+        try {
+            a->handshake(PeerRole::Garbler);
+            FAIL() << "expected version mismatch";
+        } catch (const NetError &e) {
+            EXPECT_NE(std::string(e.what()).find("version"),
+                      std::string::npos);
+        }
+    }
+}
+
+TEST(Transport, RecvFrameRejectsOversizedLength)
+{
+    auto [a, b] = LoopbackTransport::createPair();
+    const uint8_t header[4] = {0xff, 0xff, 0xff, 0xff};
+    b->writeAll(header, sizeof(header));
+    EXPECT_THROW(a->recvFrame(), NetError);
+}
+
+TEST(Transport, ClosedPeerRaisesNetError)
+{
+    auto [a, b] = LoopbackTransport::createPair();
+    b.reset(); // peer gone
+    uint8_t byte = 0;
+    EXPECT_THROW(a->readAll(&byte, 1), NetError);
+}
+
+// ---------------------------------------------------------------------------
+// NetChannel
+// ---------------------------------------------------------------------------
+
+TEST(NetChannel, TypedRoundtripAcrossFrames)
+{
+    auto [a, b] = LoopbackTransport::createPair();
+    NetChannel out(*a, 16); // tiny threshold: forces many frames
+    NetChannel in(*b);
+
+    out.sendLabel(Label(1, 2));
+    out.sendBit(true);
+    out.sendTable(GarbledTable{Label(3, 4), Label(5, 6)});
+    out.sendBit(false);
+    out.flush();
+    EXPECT_EQ(out.bytesSent(), 16 + 1 + 32 + 1u);
+    EXPECT_GE(a->framesSent(), 2u) << "threshold should have split";
+
+    EXPECT_EQ(in.recvLabel(), Label(1, 2));
+    EXPECT_TRUE(in.recvBit());
+    const GarbledTable t = in.recvTable();
+    EXPECT_EQ(t.tg, Label(3, 4));
+    EXPECT_EQ(t.te, Label(5, 6));
+    EXPECT_FALSE(in.recvBit());
+    EXPECT_EQ(in.bytesReceived(), out.bytesSent());
+}
+
+TEST(NetChannel, ReadFlushesPendingWritesFirst)
+{
+    // A request/response turnaround must not deadlock on bytes stuck
+    // in the write buffer: readBytes() flushes implicitly.
+    auto [a, b] = LoopbackTransport::createPair();
+    PeerThread peer([&, t = b.get()] {
+        NetChannel chan(*t, NetChannel::kDefaultFlushBytes);
+        const bool ping = chan.recvBit();
+        chan.sendBit(!ping);
+        chan.flush();
+    });
+    NetChannel chan(*a, NetChannel::kDefaultFlushBytes);
+    chan.sendBit(true); // stays buffered: below the threshold
+    EXPECT_FALSE(chan.recvBit());
+    peer.join();
+}
+
+// ---------------------------------------------------------------------------
+// Channel boundary coverage (in-process FIFO)
+// ---------------------------------------------------------------------------
+
+TEST(Channel, UnderflowAfterPartialConsumeReportsCounts)
+{
+    Channel chan;
+    const uint8_t data[10] = {};
+    chan.sendBytes(data, sizeof(data));
+    uint8_t out[7];
+    chan.recvBytes(out, sizeof(out));
+    try {
+        chan.recvBytes(out, 7); // only 3 left
+        FAIL() << "expected underflow";
+    } catch (const std::runtime_error &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("underflow"), std::string::npos);
+        EXPECT_NE(msg.find("7"), std::string::npos);
+        EXPECT_NE(msg.find("3"), std::string::npos);
+    }
+    // The 3 buffered bytes are still intact after the failed read.
+    uint8_t rest[3];
+    chan.recvBytes(rest, sizeof(rest));
+    EXPECT_EQ(chan.pending(), 0u);
+}
+
+TEST(Channel, ZeroByteTransfersAreExact)
+{
+    Channel chan;
+    chan.sendBytes(nullptr, 0);
+    EXPECT_EQ(chan.bytesSent(), 0u);
+    EXPECT_EQ(chan.messagesSent(), 1u);
+    chan.recvBytes(nullptr, 0);
+    EXPECT_EQ(chan.bytesReceived(), 0u);
+    EXPECT_THROW(chan.recvBit(), std::runtime_error);
+}
+
+TEST(Channel, LargeTrafficReclaimsConsumedPrefix)
+{
+    Channel chan;
+    std::vector<uint8_t> block(4096, 0xab);
+    for (int i = 0; i < 64; ++i) {
+        chan.sendBytes(block.data(), block.size());
+        std::vector<uint8_t> got(block.size());
+        chan.recvBytes(got.data(), got.size());
+        EXPECT_EQ(got, block);
+    }
+    EXPECT_EQ(chan.pending(), 0u);
+    EXPECT_EQ(chan.bytesSent(), 64 * block.size());
+}
+
+// ---------------------------------------------------------------------------
+// StreamingGarbler (two-phase streaming)
+// ---------------------------------------------------------------------------
+
+TEST(StreamingGarbler, BitIdenticalToBatchGarbler)
+{
+    const Workload wl = makeMillionaire(24);
+    const uint64_t seed = 99;
+    const Garbler batch(wl.netlist, seed);
+
+    StreamingGarbler sg(wl.netlist, seed);
+    EXPECT_EQ(sg.globalOffset(), batch.globalOffset());
+    for (uint32_t w = 0; w < wl.netlist.numInputs(); ++w)
+        EXPECT_EQ(sg.inputZeroLabel(w), batch.zeroLabel(w));
+
+    // Input labels are available BEFORE any table is produced — the
+    // property the remote protocol is built on.
+    std::vector<GarbledTable> streamed;
+    sg.run([&](const GarbledTable &t) { streamed.push_back(t); });
+    EXPECT_EQ(streamed, batch.tables());
+    EXPECT_EQ(sg.tablesEmitted(), batch.tables().size());
+    for (size_t i = 0; i < wl.netlist.outputs.size(); ++i)
+        EXPECT_EQ(sg.decodeBit(i), batch.decodeBit(i));
+}
+
+TEST(StreamingGarbler, RunTwiceThrows)
+{
+    const Workload wl = makeMillionaire(4);
+    StreamingGarbler sg(wl.netlist, 1);
+    sg.run([](const GarbledTable &) {});
+    EXPECT_THROW(sg.run([](const GarbledTable &) {}),
+                 std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Remote protocol parity (the acceptance invariant)
+// ---------------------------------------------------------------------------
+
+TEST(Remote, MillionairesMatchesSoftwareGcExactly)
+{
+    const Workload wl = makeMillionaire(32);
+    expectMatchesProtocol(wl.netlist, wl.garblerBits, wl.evaluatorBits,
+                          0x4841414331ull, 1024);
+}
+
+TEST(Remote, AdderMatchesAcrossSegmentSizes)
+{
+    const Netlist nl = adderCircuit(16);
+    const std::vector<bool> a = u64ToBits(12345, 16);
+    const std::vector<bool> b = u64ToBits(54321, 16);
+    // Segment boundaries: 1 table/frame, a ragged size, larger than
+    // the whole circuit.
+    for (uint32_t segment : {1u, 3u, 1u << 20}) {
+        SCOPED_TRACE("segment=" + std::to_string(segment));
+        expectMatchesProtocol(nl, a, b, 7, segment);
+    }
+}
+
+TEST(Remote, SegmentCountMatchesTableMath)
+{
+    const Netlist nl = adderCircuit(16);
+    const uint32_t ands = nl.numAndGates();
+    ASSERT_GT(ands, 2u);
+    const std::vector<bool> a = u64ToBits(1, 16);
+    const std::vector<bool> b = u64ToBits(2, 16);
+
+    auto [g1, e1] = runRemotePair(nl, a, b, 7, 1);
+    EXPECT_EQ(g1.tableSegments, ands);
+    auto [g2, e2] = runRemotePair(nl, a, b, 7, 1u << 20);
+    EXPECT_EQ(g2.tableSegments, 1u);
+    const uint32_t half = (ands + 1) / 2;
+    auto [g3, e3] = runRemotePair(nl, a, b, 7, half);
+    EXPECT_EQ(g3.tableSegments, (ands + half - 1) / half);
+}
+
+TEST(Remote, EvaluatorReportsTheGarblersSegmentSize)
+{
+    // The garbler's setting shapes the stream; the evaluator learns it
+    // from the fingerprint and must report that, not its own option.
+    const Netlist nl = adderCircuit(16);
+    auto [gend, eend] = LoopbackTransport::createPair();
+    RemoteOptions gopts;
+    gopts.segmentTables = 2;
+    RemoteOptions eopts;
+    eopts.segmentTables = 999; // deliberately different
+    RemoteResult gres;
+    PeerThread garbler([&, t = std::move(gend)] {
+        t->handshake(PeerRole::Garbler);
+        gres = runRemoteGarbler(nl, u64ToBits(5, 16), *t, 7, gopts);
+    });
+    eend->handshake(PeerRole::Evaluator);
+    const RemoteResult eres =
+        runRemoteEvaluator(nl, u64ToBits(6, 16), *eend, eopts);
+    garbler.join();
+    EXPECT_EQ(gres.segmentTables, 2u);
+    EXPECT_EQ(eres.segmentTables, 2u);
+    EXPECT_EQ(eres.tableSegments, gres.tableSegments);
+}
+
+TEST(Remote, XorOnlyCircuitStreamsZeroTables)
+{
+    CircuitBuilder cb;
+    Bits a = cb.garblerInputs(8);
+    Bits b = cb.evaluatorInputs(8);
+    Bits out(8);
+    for (int i = 0; i < 8; ++i)
+        out[i] = cb.xorGate(a[i], b[i]);
+    cb.addOutputs(out);
+    const Netlist nl = cb.build();
+    ASSERT_EQ(nl.numAndGates(), 0u);
+
+    const std::vector<bool> ga = u64ToBits(0xa5, 8);
+    const std::vector<bool> eb = u64ToBits(0x3c, 8);
+    expectMatchesProtocol(nl, ga, eb, 3, 4);
+    auto [gres, eres] = runRemotePair(nl, ga, eb, 3, 4);
+    EXPECT_EQ(gres.tableBytes, 0u);
+    EXPECT_EQ(gres.tableSegments, 0u);
+    EXPECT_EQ(eres.outputs, nl.evaluate(ga, eb));
+}
+
+TEST(Remote, ZeroGateCircuitWorks)
+{
+    // Outputs wired straight to inputs: no gates at all.
+    CircuitBuilder cb;
+    Wire a = cb.garblerInput();
+    Wire b = cb.evaluatorInput();
+    cb.addOutput(a);
+    cb.addOutput(b);
+    const Netlist nl = cb.build();
+    ASSERT_EQ(nl.numGates(), 0u);
+    expectMatchesProtocol(nl, {true}, {false}, 11, 8);
+}
+
+TEST(Remote, CircuitMismatchFailsBothSides)
+{
+    const Netlist lhs = adderCircuit(8);
+    const Netlist rhs = adderCircuit(16); // different shape
+    auto [gend, eend] = LoopbackTransport::createPair();
+    PeerThread garbler([&, t = std::move(gend)] {
+        t->handshake(PeerRole::Garbler);
+        EXPECT_THROW(runRemoteGarbler(lhs, u64ToBits(0, 8), *t, 1),
+                     NetError);
+    });
+    eend->handshake(PeerRole::Evaluator);
+    try {
+        runRemoteEvaluator(rhs, u64ToBits(0, 16), *eend);
+        FAIL() << "expected mismatch";
+    } catch (const NetError &e) {
+        EXPECT_NE(std::string(e.what()).find("mismatch"),
+                  std::string::npos);
+    }
+    eend.reset(); // hang up so the garbler unblocks
+    garbler.join();
+}
+
+TEST(Remote, WrongInputCountThrows)
+{
+    const Netlist nl = adderCircuit(8);
+    auto [gend, eend] = LoopbackTransport::createPair();
+    EXPECT_THROW(runRemoteGarbler(nl, u64ToBits(0, 4), *gend, 1),
+                 std::invalid_argument);
+    EXPECT_THROW(runRemoteEvaluator(nl, u64ToBits(0, 4), *eend),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// RemoteGcBackend / Session integration
+// ---------------------------------------------------------------------------
+
+TEST(RemoteBackend, RegisteredInTheBackendRegistry)
+{
+    const std::vector<std::string> names = backendNames();
+    EXPECT_NE(std::find(names.begin(), names.end(), "remote-gc"),
+              names.end());
+}
+
+TEST(RemoteBackend, NeedsAnEndpointOrTransport)
+{
+    const Workload wl = makeMillionaire(8);
+    Session session(wl);
+    EXPECT_THROW(session.run("remote-gc"), std::invalid_argument);
+}
+
+TEST(RemoteBackend, LoopbackPairMatchesSoftwareGcReport)
+{
+    const Workload wl = makeMillionaire(32);
+    Session session(wl);
+    const RunReport reference = session.run("software-gc");
+
+    auto [gend, eend] = LoopbackTransport::createPair();
+    RunReport greport;
+    PeerThread garbler([&, t = std::move(gend)]() mutable {
+        RemoteGcBackend backend(std::move(t), Role::Garbler);
+        Session gsession(wl);
+        greport = gsession.run(backend);
+    });
+    RemoteGcBackend backend(std::move(eend), Role::Evaluator);
+    RunReport ereport = session.run(backend);
+    garbler.join();
+
+    for (const RunReport *r : {&greport, &ereport}) {
+        EXPECT_EQ(r->backend, "remote-gc");
+        EXPECT_TRUE(r->hasOutputs);
+        EXPECT_TRUE(r->hasComm);
+        EXPECT_TRUE(r->hasNet);
+        EXPECT_EQ(r->outputs, reference.outputs);
+        EXPECT_EQ(r->comm.tableBytes, reference.comm.tableBytes);
+        EXPECT_EQ(r->comm.inputLabelBytes,
+                  reference.comm.inputLabelBytes);
+        EXPECT_EQ(r->comm.otBytes, reference.comm.otBytes);
+        EXPECT_EQ(r->comm.outputDecodeBytes,
+                  reference.comm.outputDecodeBytes);
+        EXPECT_EQ(r->comm.totalBytes, reference.comm.totalBytes);
+        EXPECT_EQ(r->net.gates, wl.netlist.numGates());
+    }
+    EXPECT_EQ(greport.net.role, Role::Garbler);
+    EXPECT_EQ(ereport.net.role, Role::Evaluator);
+    // Raw wire bytes: payload plus framing (4 B/frame) plus the 8 B
+    // hello — strictly more than payload, and symmetric across the
+    // two endpoints' views of the same stream.
+    EXPECT_GT(greport.net.rawBytesSent, greport.comm.totalBytes);
+    EXPECT_EQ(greport.net.rawBytesSent, ereport.net.rawBytesReceived);
+    EXPECT_EQ(ereport.net.rawBytesSent, greport.net.rawBytesReceived);
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport (skipped when the sandbox forbids sockets)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::unique_ptr<TcpListener>
+tryListen()
+{
+    try {
+        return std::make_unique<TcpListener>(0, "127.0.0.1");
+    } catch (const NetError &) {
+        return nullptr;
+    }
+}
+
+} // namespace
+
+TEST(Tcp, FrameAndHandshakeRoundtrip)
+{
+    auto listener = tryListen();
+    if (!listener)
+        GTEST_SKIP() << "TCP sockets unavailable in this sandbox";
+
+    PeerThread server([&] {
+        auto conn = listener->accept();
+        EXPECT_EQ(conn->handshake(PeerRole::Evaluator),
+                  PeerRole::Garbler);
+        const std::vector<uint8_t> got = conn->recvFrame();
+        conn->sendFrame(got); // echo
+    });
+
+    auto client = TcpTransport::connect("127.0.0.1", listener->port());
+    EXPECT_EQ(client->handshake(PeerRole::Garbler),
+              PeerRole::Evaluator);
+    const std::vector<uint8_t> payload = {9, 8, 7, 6};
+    client->sendFrame(payload);
+    EXPECT_EQ(client->recvFrame(), payload);
+    server.join();
+}
+
+TEST(Tcp, RemoteMillionairesOverRealSockets)
+{
+    auto listener = tryListen();
+    if (!listener)
+        GTEST_SKIP() << "TCP sockets unavailable in this sandbox";
+
+    const Workload wl = makeMillionaire(16);
+    const ProtocolResult ref = runProtocol(wl.netlist, wl.garblerBits,
+                                           wl.evaluatorBits, 5);
+    RemoteResult gres;
+    PeerThread garbler([&] {
+        auto conn = listener->accept();
+        conn->handshake(PeerRole::Garbler);
+        gres = runRemoteGarbler(wl.netlist, wl.garblerBits, *conn, 5);
+    });
+    auto client = TcpTransport::connect("127.0.0.1", listener->port());
+    client->handshake(PeerRole::Evaluator);
+    const RemoteResult eres =
+        runRemoteEvaluator(wl.netlist, wl.evaluatorBits, *client);
+    garbler.join();
+
+    EXPECT_EQ(eres.outputs, ref.outputs);
+    EXPECT_EQ(gres.outputs, ref.outputs);
+    EXPECT_EQ(eres.totalBytes, ref.totalBytes);
+    EXPECT_EQ(gres.totalBytes, ref.totalBytes);
+}
+
+TEST(Tcp, RecvTimesOutWithoutAPeer)
+{
+    auto listener = tryListen();
+    if (!listener)
+        GTEST_SKIP() << "TCP sockets unavailable in this sandbox";
+
+    PeerThread server([&] {
+        auto conn = listener->accept();
+        // Hold the connection open, send nothing.
+        std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    });
+    TcpOptions opts;
+    opts.ioTimeoutMs = 100;
+    auto client =
+        TcpTransport::connect("127.0.0.1", listener->port(), opts);
+    uint8_t byte = 0;
+    EXPECT_THROW(client->readAll(&byte, 1), NetError);
+    server.join();
+}

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * GcServer: the multi-session two-party service — workload spec
+ * resolution, session establishment (clientHello), error acks,
+ * JSON-Lines report emission, and the concurrency stress test the
+ * acceptance criteria require (>= 8 concurrent sessions, clean under
+ * ASan/UBSan; CI's sanitizer job runs this suite).
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <exception>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "net/loopback.h"
+#include "net/server.h"
+#include "workloads/priorwork.h"
+
+using namespace haac;
+
+namespace {
+
+class PeerThread
+{
+  public:
+    template <typename Fn>
+    explicit PeerThread(Fn fn)
+        : thread_([this, fn = std::move(fn)]() mutable {
+              try {
+                  fn();
+              } catch (...) {
+                  error_ = std::current_exception();
+              }
+          })
+    {
+    }
+
+    void
+    join()
+    {
+        thread_.join();
+        if (error_)
+            std::rethrow_exception(error_);
+    }
+
+  private:
+    std::exception_ptr error_;
+    std::thread thread_;
+};
+
+size_t
+countLines(const std::string &s)
+{
+    size_t n = 0;
+    for (char ch : s)
+        if (ch == '\n')
+            ++n;
+    return n;
+}
+
+} // namespace
+
+TEST(ResolveWorkload, KnownSpecs)
+{
+    EXPECT_EQ(resolveWorkload("Million:32").netlist.numGarblerInputs,
+              32u);
+    EXPECT_EQ(resolveWorkload("Adder:16").netlist.numEvaluatorInputs,
+              16u);
+    EXPECT_GT(resolveWorkload("Mult:8").netlist.numAndGates(), 0u);
+    EXPECT_GT(resolveWorkload("AES128").netlist.numGates(), 0u);
+    EXPECT_GT(resolveWorkload("Hamm").netlist.numGates(), 0u);
+}
+
+TEST(ResolveWorkload, RejectsUnknownAndMalformed)
+{
+    EXPECT_THROW(resolveWorkload("NoSuchCircuit"), NetError);
+    EXPECT_THROW(resolveWorkload("Million:"), NetError);
+    EXPECT_THROW(resolveWorkload("Million:zero"), NetError);
+    EXPECT_THROW(resolveWorkload("Million:0"), NetError);
+    EXPECT_THROW(resolveWorkload("Bogus:12"), NetError);
+}
+
+TEST(GcServer, ServesOneSessionWithReportLine)
+{
+    std::ostringstream reports;
+    ServerOptions opts;
+    opts.threads = 2;
+    opts.reports = &reports;
+    GcServer server(opts);
+
+    const Workload wl = resolveWorkload("Million:16");
+    auto [client_end, server_end] = LoopbackTransport::createPair();
+    server.submit(std::move(server_end));
+
+    // Client garbles with its own bits; the server evaluates with the
+    // workload's sample bits.
+    clientHello(*client_end, PeerRole::Garbler, "Million:16");
+    const RemoteResult res = runRemoteGarbler(
+        wl.netlist, wl.garblerBits, *client_end, 77);
+    server.drain();
+
+    EXPECT_EQ(res.outputs,
+              wl.netlist.evaluate(wl.garblerBits, wl.evaluatorBits));
+
+    const GcServer::Totals totals = server.totals();
+    EXPECT_EQ(totals.sessionsServed, 1u);
+    EXPECT_EQ(totals.sessionsFailed, 0u);
+    EXPECT_EQ(totals.gates, wl.netlist.numGates());
+
+    const std::string line = reports.str();
+    EXPECT_EQ(countLines(line), 1u);
+    EXPECT_NE(line.find("\"backend\":\"remote-gc\""),
+              std::string::npos);
+    EXPECT_NE(line.find("\"workload\":\"Million-16\""),
+              std::string::npos);
+    EXPECT_NE(line.find("\"label\":\"session-0\""), std::string::npos);
+    EXPECT_NE(line.find("\"net\""), std::string::npos);
+}
+
+TEST(GcServer, ClientMayEvaluateToo)
+{
+    ServerOptions opts;
+    opts.threads = 1;
+    GcServer server(opts);
+    const Workload wl = resolveWorkload("Adder:8");
+
+    auto [client_end, server_end] = LoopbackTransport::createPair();
+    server.submit(std::move(server_end));
+    clientHello(*client_end, PeerRole::Evaluator, "Adder:8");
+    const RemoteResult res = runRemoteEvaluator(
+        wl.netlist, wl.evaluatorBits, *client_end);
+    server.drain();
+    EXPECT_EQ(res.outputs,
+              wl.netlist.evaluate(wl.garblerBits, wl.evaluatorBits));
+    EXPECT_EQ(server.totals().sessionsServed, 1u);
+}
+
+TEST(GcServer, RefusesBadSpecAndKeepsServing)
+{
+    std::ostringstream reports;
+    ServerOptions opts;
+    opts.threads = 2;
+    opts.reports = &reports;
+    GcServer server(opts);
+
+    {
+        auto [client_end, server_end] = LoopbackTransport::createPair();
+        server.submit(std::move(server_end));
+        try {
+            clientHello(*client_end, PeerRole::Garbler, "NoSuch:9");
+            FAIL() << "expected refusal";
+        } catch (const NetError &e) {
+            EXPECT_NE(std::string(e.what()).find("unknown workload"),
+                      std::string::npos);
+        }
+    }
+    {
+        auto [client_end, server_end] = LoopbackTransport::createPair();
+        server.submit(std::move(server_end));
+        EXPECT_THROW(clientHello(*client_end, PeerRole::Garbler, ""),
+                     NetError);
+    }
+
+    // The server survives refused sessions and serves real ones.
+    const Workload wl = resolveWorkload("Million:8");
+    auto [client_end, server_end] = LoopbackTransport::createPair();
+    server.submit(std::move(server_end));
+    clientHello(*client_end, PeerRole::Garbler, "Million:8");
+    const RemoteResult res = runRemoteGarbler(
+        wl.netlist, wl.garblerBits, *client_end, 3);
+    server.drain();
+
+    EXPECT_EQ(res.outputs,
+              wl.netlist.evaluate(wl.garblerBits, wl.evaluatorBits));
+    const GcServer::Totals totals = server.totals();
+    EXPECT_EQ(totals.sessionsServed, 1u);
+    EXPECT_EQ(totals.sessionsFailed, 2u);
+    EXPECT_EQ(countLines(reports.str()), 1u);
+}
+
+TEST(GcServer, StressEightPlusConcurrentSessions)
+{
+    // The acceptance bar: >= 8 sessions in flight at once, mixed
+    // workloads and roles, every output correct, every session
+    // reported, no data races (CI runs this under ASan/UBSan).
+    constexpr uint32_t kWorkers = 8;
+    constexpr uint32_t kSessions = 16;
+    const char *kSpecs[] = {"Million:16", "Adder:8", "Million:8",
+                            "Mult:4"};
+
+    std::ostringstream reports;
+    ServerOptions opts;
+    opts.threads = kWorkers;
+    opts.reports = &reports;
+    GcServer server(opts);
+
+    // Submit every server end first so all workers go busy together,
+    // then run all clients concurrently.
+    std::vector<std::unique_ptr<LoopbackTransport>> client_ends;
+    for (uint32_t i = 0; i < kSessions; ++i) {
+        auto [client_end, server_end] = LoopbackTransport::createPair();
+        client_ends.push_back(std::move(client_end));
+        server.submit(std::move(server_end));
+    }
+
+    std::atomic<uint32_t> ok{0};
+    std::vector<std::unique_ptr<PeerThread>> clients;
+    for (uint32_t i = 0; i < kSessions; ++i) {
+        clients.push_back(std::make_unique<PeerThread>(
+            [i, &ok, &kSpecs, t = client_ends[i].get()] {
+                const std::string spec = kSpecs[i % 4];
+                const Workload wl = resolveWorkload(spec);
+                const std::vector<bool> expected = wl.netlist.evaluate(
+                    wl.garblerBits, wl.evaluatorBits);
+                const bool garble = i % 2 == 0;
+                clientHello(*t,
+                            garble ? PeerRole::Garbler
+                                   : PeerRole::Evaluator,
+                            spec);
+                const RemoteResult res =
+                    garble ? runRemoteGarbler(wl.netlist,
+                                              wl.garblerBits, *t,
+                                              1000 + i)
+                           : runRemoteEvaluator(wl.netlist,
+                                                wl.evaluatorBits, *t);
+                if (res.outputs == expected)
+                    ++ok;
+            }));
+    }
+    for (auto &client : clients)
+        client->join();
+    server.drain();
+
+    EXPECT_EQ(ok.load(), kSessions);
+    const GcServer::Totals totals = server.totals();
+    EXPECT_EQ(totals.sessionsServed, kSessions);
+    EXPECT_EQ(totals.sessionsFailed, 0u);
+    EXPECT_GT(totals.payloadBytes, 0u);
+    EXPECT_EQ(countLines(reports.str()), kSessions);
+}
+
+TEST(GcServer, ServeTcpAcceptLoop)
+{
+    std::unique_ptr<TcpListener> listener;
+    try {
+        listener = std::make_unique<TcpListener>(0, "127.0.0.1");
+    } catch (const NetError &) {
+        GTEST_SKIP() << "TCP sockets unavailable in this sandbox";
+    }
+
+    std::ostringstream reports;
+    ServerOptions opts;
+    opts.threads = 4;
+    opts.reports = &reports;
+    GcServer server(opts);
+    PeerThread accept_loop([&] { server.serveTcp(*listener); });
+
+    const Workload wl = resolveWorkload("Million:8");
+    for (int i = 0; i < 2; ++i) {
+        auto conn = TcpTransport::connect("127.0.0.1",
+                                          listener->port());
+        clientHello(*conn, PeerRole::Garbler, "Million:8");
+        const RemoteResult res = runRemoteGarbler(
+            wl.netlist, wl.garblerBits, *conn, 50 + i);
+        EXPECT_EQ(res.outputs, wl.netlist.evaluate(
+                                   wl.garblerBits, wl.evaluatorBits));
+    }
+    server.drain();
+    listener->close(); // winds down the accept loop
+    accept_loop.join();
+
+    EXPECT_EQ(server.totals().sessionsServed, 2u);
+    EXPECT_EQ(countLines(reports.str()), 2u);
+}

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * haac_server: a multi-session garbled-circuit service.
+ *
+ * Accepts TCP connections and serves each as one two-party GC session
+ * on a worker pool: the client handshakes with its role (garbler or
+ * evaluator), names a workload ("Million:32", "Hamm", ...), and the
+ * server plays the opposite role with the workload's sample inputs.
+ * Every completed session is emitted as one RunReport JSON line
+ * (outputs, exact communication accounting, bytes/gates-per-second)
+ * to stdout or --report-file.
+ *
+ *   haac_server --port 9000 --threads 8
+ *   haac_server --port 0            # ephemeral; prints the port
+ *   haac_server --sessions 16      # exit after 16 sessions (tests)
+ *
+ * Pair it with the remote-gc backend or the stress clients in
+ * tests/test_server.cc; see docs/REPRODUCING.md for a two-terminal
+ * walkthrough.
+ */
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "net/server.h"
+#include "net/tcp.h"
+
+using namespace haac;
+
+namespace {
+
+TcpListener *g_listener = nullptr;
+
+void
+onSignal(int)
+{
+    if (g_listener)
+        g_listener->close(); // unblocks the accept loop
+}
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --port N         TCP port (default 9000; 0 = ephemeral)\n"
+        "  --bind HOST      bind address (default 0.0.0.0)\n"
+        "  --threads N      concurrent sessions (default 4)\n"
+        "  --sessions N     exit after N sessions (default 0 = run "
+        "until SIGINT)\n"
+        "  --segment N      garbled tables per stream segment "
+        "(default 1024)\n"
+        "  --seed N         garbling seed base (session i uses "
+        "seed+i)\n"
+        "  --report-file F  append per-session RunReport JSON lines "
+        "to F (default stdout)\n"
+        "  --quiet          no per-session report lines\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint16_t port = 9000;
+    std::string bind_host = "0.0.0.0";
+    uint64_t max_sessions = 0;
+    std::string report_file;
+    bool quiet = false;
+    ServerOptions opts;
+    opts.errors = &std::cerr;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--port") {
+            const unsigned long v = std::strtoul(value(), nullptr, 10);
+            if (v > 65535) {
+                std::fprintf(stderr, "--port must be <= 65535\n");
+                return 2;
+            }
+            port = uint16_t(v);
+        }
+        else if (arg == "--bind")
+            bind_host = value();
+        else if (arg == "--threads")
+            opts.threads = uint32_t(std::strtoul(value(), nullptr, 10));
+        else if (arg == "--sessions")
+            max_sessions = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--segment")
+            opts.segmentTables =
+                uint32_t(std::strtoul(value(), nullptr, 10));
+        else if (arg == "--seed")
+            opts.seedBase = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--report-file")
+            report_file = value();
+        else if (arg == "--quiet")
+            quiet = true;
+        else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    std::ofstream report_stream;
+    if (!quiet) {
+        if (!report_file.empty()) {
+            report_stream.open(report_file, std::ios::app);
+            if (!report_stream) {
+                std::fprintf(stderr, "cannot open %s\n",
+                             report_file.c_str());
+                return 1;
+            }
+            opts.reports = &report_stream;
+        } else {
+            opts.reports = &std::cout;
+        }
+    }
+
+    try {
+        TcpListener listener(port, bind_host);
+        g_listener = &listener;
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGTERM, onSignal);
+
+        std::fprintf(stderr,
+                     "haac_server listening on %s:%u (%u workers, "
+                     "segment %u tables)\n",
+                     bind_host.c_str(), unsigned(listener.port()),
+                     unsigned(opts.threads),
+                     unsigned(opts.segmentTables));
+
+        GcServer server(opts);
+        if (max_sessions == 0) {
+            server.serveTcp(listener); // until SIGINT/SIGTERM
+        } else {
+            for (uint64_t accepted = 0; accepted < max_sessions;
+                 ++accepted)
+                server.submit(listener.accept());
+        }
+        server.drain();
+
+        const GcServer::Totals totals = server.totals();
+        std::fprintf(stderr,
+                     "served %llu sessions (%llu failed), %llu gates, "
+                     "%llu payload bytes, %.3f session-seconds\n",
+                     (unsigned long long)totals.sessionsServed,
+                     (unsigned long long)totals.sessionsFailed,
+                     (unsigned long long)totals.gates,
+                     (unsigned long long)totals.payloadBytes,
+                     totals.sessionSeconds);
+        return totals.sessionsFailed == 0 ? 0 : 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "haac_server: %s\n", e.what());
+        return 1;
+    }
+}
