@@ -19,6 +19,7 @@
 #include "net/server.h"
 #include "net/tcp.h"
 #include "platform/energy_model.h"
+#include "shard/backend.h"
 
 namespace haac {
 
@@ -244,6 +245,9 @@ const bool kBuiltinsRegistered = [] {
     });
     registerBackend("remote-gc", [] {
         return std::unique_ptr<Backend>(new RemoteGcBackend());
+    });
+    registerBackend("haac-sim-sharded", [] {
+        return std::unique_ptr<Backend>(new ShardedSimBackend());
     });
     return true;
 }();

@@ -127,6 +127,18 @@ outputBits(const std::vector<bool> &bits)
     return s;
 }
 
+std::string
+joinU64(const std::vector<uint64_t> &vals)
+{
+    std::string s;
+    for (uint64_t v : vals) {
+        if (!s.empty())
+            s += ',';
+        s += std::to_string(v);
+    }
+    return s;
+}
+
 } // namespace
 
 std::string
@@ -177,6 +189,19 @@ RunReport::toJson() const
         j.add("segment_tables", uint64_t(net.segmentTables));
         j.add("gates", net.gates);
         j.add("gates_per_second", net.gatesPerSecond);
+        j.end();
+    }
+
+    if (hasShard) {
+        j.begin("shard");
+        j.add("shards", uint64_t(shard.shards));
+        j.add("requested", uint64_t(shard.requested));
+        j.add("rounds", uint64_t(shard.rounds));
+        j.add("converged", shard.converged);
+        j.add("cross_wires", shard.crossWires);
+        j.add("live_flipped", shard.liveFlipped);
+        j.add("shard_cycles", joinU64(shard.shardCycles));
+        j.add("shard_instructions", joinU64(shard.shardInstructions));
         j.end();
     }
 

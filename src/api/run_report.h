@@ -85,6 +85,28 @@ struct RunReport
     bool hasNet = false;
     /// @}
 
+    /** @name Sharded simulation (haac-sim-sharded backend) */
+    /// @{
+    struct Shard
+    {
+        /** Shards actually run (requested, clamped to GE count). */
+        uint32_t shards = 1;
+        uint32_t requested = 1;
+        /** Timing iterations until the cross-shard fixed point. */
+        uint32_t rounds = 0;
+        bool converged = true;
+        /** Wire addresses imported across a shard boundary. */
+        uint64_t crossWires = 0;
+        /** ESW-dead wires sharding forced back off-chip. */
+        uint64_t liveFlipped = 0;
+        /** Final-round cycles / instructions per shard. */
+        std::vector<uint64_t> shardCycles;
+        std::vector<uint64_t> shardInstructions;
+    };
+    Shard shard;
+    bool hasShard = false;
+    /// @}
+
     /** @name Accelerator pipeline (HAAC sim backend) */
     /// @{
     CompileStats compile;

@@ -79,6 +79,15 @@ Session::withSegmentTables(uint32_t tables)
 }
 
 Session &
+Session::withShards(uint32_t shards,
+                    std::vector<std::string> worker_endpoints)
+{
+    shards_ = shards > 0 ? shards : 1;
+    shardWorkers_ = std::move(worker_endpoints);
+    return *this;
+}
+
+Session &
 Session::withOutputs(bool want)
 {
     wantOutputs_ = want;

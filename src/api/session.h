@@ -70,6 +70,15 @@ class Session
     /** Garbled tables per streamed segment frame (remote backends). */
     Session &withSegmentTables(uint32_t tables);
     /**
+     * Sharded simulation (the "haac-sim-sharded" backend): split the
+     * compiled program's GE streams across @p shards workers. With no
+     * @p worker_endpoints the workers are in-process loopback threads;
+     * otherwise shard s connects to endpoint s mod N ("host:port" of a
+     * `haac_server --shard-worker`).
+     */
+    Session &withShards(uint32_t shards,
+                        std::vector<std::string> worker_endpoints = {});
+    /**
      * Whether simulation backends should also interpret the compiled
      * program to produce circuit outputs (default true). Benchmarks
      * that only read timing turn this off to skip the plaintext pass.
@@ -96,6 +105,11 @@ class Session
     const std::string &remoteEndpoint() const { return remoteEndpoint_; }
     const std::string &remoteSpec() const { return remoteSpec_; }
     uint32_t segmentTables() const { return segmentTables_; }
+    uint32_t shards() const { return shards_; }
+    const std::vector<std::string> &shardWorkers() const
+    {
+        return shardWorkers_;
+    }
 
     /** Do the stored inputs match the circuit's input shape? */
     bool inputsMatchCircuit() const;
@@ -152,6 +166,8 @@ class Session
     std::string remoteEndpoint_;
     std::string remoteSpec_;
     uint32_t segmentTables_ = 1024;
+    uint32_t shards_ = 1;
+    std::vector<std::string> shardWorkers_;
 };
 
 } // namespace haac

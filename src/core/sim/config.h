@@ -58,6 +58,13 @@ struct HaacConfig
     /** DRAM access latency in GE cycles (stream fill delay). */
     uint32_t dramLatency = 100;
 
+    /**
+     * Fraction of the package bandwidth this core sees (1.0 = all of
+     * it). The sharded runtime sets 1/M per shard so M cores share one
+     * memory package, the measured analogue of bench/ablation_multicore.
+     */
+    double dramBandwidthScale = 1.0;
+
     /** @name Pipeline structure (§3.2) */
     /// @{
     uint32_t fetchDecodeStages = 2;

@@ -116,8 +116,10 @@ class Engine
 {
   public:
     Engine(const HaacProgram &prog, const HaacConfig &cfg,
-           const StreamSet *streams, SimMode mode, bool global_dispatch)
+           const StreamSet *streams, SimMode mode, bool global_dispatch,
+           const RemoteWireEnv *remote = nullptr)
         : prog_(prog), cfg_(cfg), streams_(streams), mode_(mode),
+          remote_(remote),
           globalDispatch_(global_dispatch),
           modelTraffic_(mode == SimMode::Combined ||
                         mode == SimMode::TrafficOnly),
@@ -128,6 +130,21 @@ class Engine
     {}
 
     SimStats run(StreamSet *record);
+
+    /** Post-run: DRAM-ready cycle per export address (shard runs). */
+    std::vector<uint64_t>
+    exportTimes(const std::vector<uint32_t> &addrs) const
+    {
+        std::vector<uint64_t> out;
+        out.reserve(addrs.size());
+        for (uint32_t addr : addrs) {
+            uint32_t t = wireDramReady_[addr];
+            if (t == kNever32)
+                t = wireReady_[addr]; // not live: forwardable cycle
+            out.push_back(t == kNever32 ? stats_.cycles : t);
+        }
+        return out;
+    }
 
   private:
     bool tryIssue(uint64_t t, uint32_t g, GeRunState &ge, uint32_t idx,
@@ -140,6 +157,7 @@ class Engine
     const HaacConfig &cfg_;
     const StreamSet *streams_;
     SimMode mode_;
+    const RemoteWireEnv *remote_;
     bool globalDispatch_;
     bool modelTraffic_;
     bool modelCompute_;
@@ -236,13 +254,32 @@ Engine::setupQueues()
         for (uint32_t w = inputBase_; w <= prog_.numInputs; ++w)
             wireReady_[w] = kNever32; // set on arrival
     }
+
+    // Remote-produced wires (other shards of the same program) land in
+    // the SWW and in DRAM at their announced ready cycles, so both
+    // in-window reads and OoRW fetches can proceed.
+    if (remote_) {
+        for (size_t i = 0; i < remote_->addrs.size(); ++i) {
+            const uint32_t when = uint32_t(std::min<uint64_t>(
+                remote_->readyCycles[i], kNever32 - 1));
+            wireReady_[remote_->addrs[i]] = when;
+            wireDramReady_[remote_->addrs[i]] = when;
+        }
+    }
 }
 
 void
 Engine::dramStep(uint64_t t)
 {
-    const double per_cycle = dramBytesPerCycle(cfg_.dram);
-    dramBudget_ = std::min(dramBudget_ + per_cycle, 4 * per_cycle);
+    const double per_cycle =
+        dramBytesPerCycle(cfg_.dram) * cfg_.dramBandwidthScale;
+    // Budget accrual is capped at a few cycles of bandwidth, but never
+    // below one full grant batch (64 B): a bandwidth-split shard core
+    // must still be able to save up for a transfer, just more slowly.
+    // Full-rate configs (DDR4 35.2 B/c and up) already exceed 64 B, so
+    // their arbitration is unchanged.
+    dramBudget_ = std::min(dramBudget_ + per_cycle,
+                           std::max(4 * per_cycle, 64.0));
 
     while (!writeEvents_.empty() && writeEvents_.top().first <= t) {
         writableBytes_ += writeEvents_.top().second;
@@ -462,21 +499,38 @@ Engine::tryIssue(uint64_t t, uint32_t g, GeRunState &ge, uint32_t idx,
 void
 Engine::finalizeTrafficStats()
 {
-    // Analytic totals so accounting is identical across modes.
-    stats_.instrBytes = uint64_t(prog_.instrs.size()) * encBytes_;
-    stats_.tableBytes = uint64_t(prog_.numAnd()) * kTableBytes;
-    uint64_t oor = 0;
+    // Analytic totals so accounting is identical across modes. With
+    // streams the totals come from the streams themselves, so a shard
+    // run counts only its own instructions — instruction, table, OoRW
+    // and live-write totals sum to the whole program across shards.
+    // Input preload is the exception: every shard core fills its own
+    // SWW with the resident input window, so that term is per-core by
+    // design (input replication is a real cost of the multi-core
+    // split). Without streams (the compiler's scheduling pass) the
+    // program is the universe.
     if (streams_) {
-        for (const GeStreams &ge : streams_->ge)
+        uint64_t instrs = 0, tables = 0, oor = 0, live = 0;
+        for (const GeStreams &ge : streams_->ge) {
+            instrs += ge.instrs.size();
+            tables += ge.tableCount;
             oor += ge.oorAddrs.size();
+            for (uint32_t idx : ge.instrIdx)
+                live += prog_.instrs[idx].live ? 1 : 0;
+        }
+        stats_.instrBytes = instrs * encBytes_;
+        stats_.tableBytes = tables * kTableBytes;
+        stats_.oorAddrBytes = oor * 4;
+        stats_.oorDataBytes = oor * kLabelBytes;
+        stats_.liveWriteBytes = live * kLabelBytes;
+    } else {
+        stats_.instrBytes = uint64_t(prog_.instrs.size()) * encBytes_;
+        stats_.tableBytes = uint64_t(prog_.numAnd()) * kTableBytes;
+        uint64_t live = 0;
+        for (const HaacInstruction &ins : prog_.instrs)
+            live += ins.live ? 1 : 0;
+        stats_.liveWriteBytes = live * kLabelBytes;
     }
-    stats_.oorAddrBytes = oor * 4;
-    stats_.oorDataBytes = oor * kLabelBytes;
     stats_.inputLoadBytes = inputLoad_.totalEntries * kLabelBytes;
-    uint64_t live = 0;
-    for (const HaacInstruction &ins : prog_.instrs)
-        live += ins.live ? 1 : 0;
-    stats_.liveWriteBytes = live * kLabelBytes;
 }
 
 SimStats
@@ -493,7 +547,14 @@ Engine::run(StreamSet *record)
 
     uint64_t t = 0;
     uint64_t issued_total = 0;
-    const uint64_t total = prog_.instrs.size();
+    // In replay mode the streams are the universe (a shard run carries
+    // a subset of the program); the scheduling pass covers everything.
+    uint64_t total = prog_.instrs.size();
+    if (!globalDispatch_ && streams_) {
+        total = 0;
+        for (const GeStreams &ge : streams_->ge)
+            total += ge.instrs.size();
+    }
 
     if (globalDispatch_) {
         // Compiler scheduling pass: one global in-order cursor; every
@@ -607,6 +668,20 @@ runSimulation(const HaacProgram &prog, const HaacConfig &cfg,
 {
     Engine engine(prog, cfg, &streams, mode, /*global_dispatch=*/false);
     return engine.run(nullptr);
+}
+
+ShardSimResult
+runShardSimulation(const HaacProgram &prog, const HaacConfig &cfg,
+                   const StreamSet &shard, SimMode mode,
+                   const RemoteWireEnv &imports,
+                   const std::vector<uint32_t> &exports)
+{
+    Engine engine(prog, cfg, &shard, mode, /*global_dispatch=*/false,
+                  &imports);
+    ShardSimResult result;
+    result.stats = engine.run(nullptr);
+    result.exportReady = engine.exportTimes(exports);
+    return result;
 }
 
 SimStats

@@ -53,6 +53,38 @@ SimStats runSimulation(const HaacProgram &prog, const HaacConfig &cfg,
                        const StreamSet &streams,
                        SimMode mode = SimMode::Combined);
 
+/**
+ * Wires this engine does not produce itself (they belong to another
+ * shard of the same program): each addrs[i] becomes usable — both for
+ * in-window operand reads and for OoRW fetches — at readyCycles[i].
+ */
+struct RemoteWireEnv
+{
+    std::vector<uint32_t> addrs;
+    std::vector<uint64_t> readyCycles; ///< parallel to addrs
+};
+
+struct ShardSimResult
+{
+    SimStats stats;
+    /** Cycle each requested export address reaches DRAM, in order. */
+    std::vector<uint64_t> exportReady;
+};
+
+/**
+ * Run the timing model over one shard of a scheduled program: @p shard
+ * carries only this shard's GE streams (cfg.numGes must equal
+ * shard.ge.size()), @p imports marks when remote-produced wires become
+ * usable, and the ready times of @p exports are harvested for the
+ * coordinator's cross-shard dependency merge. With an empty import set
+ * and the full stream set this is exactly runSimulation().
+ */
+ShardSimResult runShardSimulation(const HaacProgram &prog,
+                                  const HaacConfig &cfg,
+                                  const StreamSet &shard, SimMode mode,
+                                  const RemoteWireEnv &imports,
+                                  const std::vector<uint32_t> &exports);
+
 /** Convenience: build streams and run in one call. */
 SimStats simulate(const HaacProgram &prog, const HaacConfig &cfg,
                   SimMode mode = SimMode::Combined);

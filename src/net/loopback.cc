@@ -11,21 +11,34 @@ namespace haac {
 /** One direction of the loopback connection. */
 struct LoopbackTransport::Pipe
 {
+    explicit Pipe(size_t window) : capacity(std::max<size_t>(1, window))
+    {}
+
     std::mutex mutex;
     std::condition_variable readable;
+    std::condition_variable writable;
     std::deque<uint8_t> bytes;
+    const size_t capacity;
     bool closed = false;
 
     void
     write(const uint8_t *data, size_t n)
     {
-        {
-            std::lock_guard<std::mutex> lock(mutex);
+        std::unique_lock<std::mutex> lock(mutex);
+        for (size_t put = 0; put < n;) {
+            // Flow control: block while the window is full; the reader
+            // opens it back up as it drains (or close() unblocks us).
+            writable.wait(lock, [&] {
+                return closed || bytes.size() < capacity;
+            });
             if (closed)
                 throw NetError("loopback: peer closed");
-            bytes.insert(bytes.end(), data, data + n);
+            const size_t take =
+                std::min(n - put, capacity - bytes.size());
+            bytes.insert(bytes.end(), data + put, data + put + take);
+            put += take;
+            readable.notify_one();
         }
-        readable.notify_one();
     }
 
     void
@@ -44,6 +57,7 @@ struct LoopbackTransport::Pipe
                       data + got);
             bytes.erase(bytes.begin(), bytes.begin() + long(take));
             got += take;
+            writable.notify_one();
         }
     }
 
@@ -55,6 +69,7 @@ struct LoopbackTransport::Pipe
             closed = true;
         }
         readable.notify_all();
+        writable.notify_all();
     }
 };
 
@@ -73,10 +88,10 @@ LoopbackTransport::~LoopbackTransport()
 
 std::pair<std::unique_ptr<LoopbackTransport>,
           std::unique_ptr<LoopbackTransport>>
-LoopbackTransport::createPair()
+LoopbackTransport::createPair(size_t window_bytes)
 {
-    auto a_to_b = std::make_shared<Pipe>();
-    auto b_to_a = std::make_shared<Pipe>();
+    auto a_to_b = std::make_shared<Pipe>(window_bytes);
+    auto b_to_a = std::make_shared<Pipe>(window_bytes);
     std::unique_ptr<LoopbackTransport> a(
         new LoopbackTransport(a_to_b, b_to_a, "loopback:a"));
     std::unique_ptr<LoopbackTransport> b(

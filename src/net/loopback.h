@@ -3,16 +3,23 @@
  * LoopbackTransport: an in-memory, thread-safe Transport pair.
  *
  * Tests and CI exercise the full remote protocol — framing, handshake,
- * segmented table streaming, the multi-session server — without
- * binding a single port: createPair() returns two connected endpoints
- * backed by two mutex/condvar byte queues, one per direction. Blocking
- * semantics match TCP (reads wait for data; reading a closed, drained
- * pipe raises NetError like a peer hangup), so protocol code cannot
- * tell the difference.
+ * segmented table streaming, the multi-session server, shard dispatch —
+ * without binding a single port: createPair() returns two connected
+ * endpoints backed by two mutex/condvar byte queues, one per direction.
+ * Blocking semantics match TCP (reads wait for data; reading a closed,
+ * drained pipe raises NetError like a peer hangup), so protocol code
+ * cannot tell the difference.
+ *
+ * Each direction is bounded by a byte window (like a TCP socket
+ * buffer): a writer outrunning a stalled reader blocks once the window
+ * fills instead of growing the pipe without limit, so backpressure is
+ * real on loopback too. The default window is generous; tests shrink
+ * it to force the flow-control path.
  */
 #ifndef HAAC_NET_LOOPBACK_H
 #define HAAC_NET_LOOPBACK_H
 
+#include <cstddef>
 #include <memory>
 #include <utility>
 
@@ -23,10 +30,18 @@ namespace haac {
 class LoopbackTransport : public Transport
 {
   public:
-    /** Two connected endpoints; either may live on any thread. */
+    /** Default per-direction byte window (8 MB, ample for segments). */
+    static constexpr size_t kDefaultWindowBytes = 8u * 1024 * 1024;
+
+    /**
+     * Two connected endpoints; either may live on any thread.
+     *
+     * @param window_bytes per-direction pipe capacity (>= 1); a write
+     *        into a full pipe blocks until the peer drains it.
+     */
     static std::pair<std::unique_ptr<LoopbackTransport>,
                      std::unique_ptr<LoopbackTransport>>
-    createPair();
+    createPair(size_t window_bytes = kDefaultWindowBytes);
 
     /** Destruction closes both directions (peer reads then fail). */
     ~LoopbackTransport() override;

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "shard/worker.h"
 #include "workloads/priorwork.h"
 
 namespace haac {
@@ -203,6 +204,35 @@ GcServer::workerLoop()
 void
 GcServer::serveOne(Transport &transport, uint64_t session_id)
 {
+    if (opts_.shardWorker) {
+        const shard::WorkerSummary summary =
+            shard::serveShardWorker(transport);
+
+        RunReport report;
+        report.backend = "shard-worker";
+        report.label = "shard-session-" + std::to_string(session_id);
+        report.net.endpoint = transport.describe();
+        report.net.rawBytesSent = transport.rawBytesSent();
+        report.net.rawBytesReceived = transport.rawBytesReceived();
+        report.hasNet = true;
+        if (summary.rounds > 0) {
+            report.sim = summary.lastStats;
+            report.hasSim = true;
+        }
+        const std::string json = opts_.reports ? report.toJson() : "";
+
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++totals_.sessionsServed;
+            totals_.gates += summary.instructions;
+        }
+        if (opts_.reports) {
+            std::lock_guard<std::mutex> lock(reportMutex_);
+            *opts_.reports << json << "\n" << std::flush;
+        }
+        return;
+    }
+
     const PeerRole client = transport.handshake(PeerRole::Server);
     if (client == PeerRole::Server)
         throw NetError("peer is also a server; no party would garble");

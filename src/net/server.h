@@ -72,6 +72,14 @@ struct ServerOptions
 {
     /** Worker threads == maximum concurrent sessions. */
     uint32_t threads = 4;
+    /**
+     * Serve shard-worker sessions (src/shard) instead of GC sessions:
+     * each connection is one shard coordinator link, handled by
+     * shard::serveShardWorker. A coordinator running M shards against
+     * this server holds M connections through the whole round-trip
+     * exchange, so threads must be >= M or the fleet deadlocks.
+     */
+    bool shardWorker = false;
     /** Garbled tables per streamed segment frame. */
     uint32_t segmentTables = 1024;
     /** Session i garbles with seedBase + i (when the server garbles). */

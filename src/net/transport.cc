@@ -36,6 +36,10 @@ peerRoleName(PeerRole role)
         return "evaluator";
     case PeerRole::Server:
         return "server";
+    case PeerRole::ShardCoordinator:
+        return "shard-coordinator";
+    case PeerRole::ShardWorker:
+        return "shard-worker";
     }
     return "?";
 }
@@ -107,16 +111,27 @@ Transport::handshake(PeerRole self)
                        ": protocol version mismatch (ours " +
                        std::to_string(kVersion) + ", peer " +
                        std::to_string(peer_version) + ")");
-    if (peer[6] > uint8_t(PeerRole::Server))
+    if (peer[6] > uint8_t(PeerRole::ShardWorker))
         throw NetError("handshake with " + describe() +
                        ": unknown peer role " +
                        std::to_string(int(peer[6])));
     const PeerRole peer_role = PeerRole(peer[6]);
-    // Garbler pairs with evaluator; Server adapts to its client.
-    if (peer_role == self && self != PeerRole::Server)
-        throw NetError("handshake with " + describe() +
-                       ": both endpoints claim the " +
-                       std::string(peerRoleName(self)) + " role");
+    // Garbler pairs with evaluator, a shard coordinator with a shard
+    // worker; Server adapts to its client.
+    auto pairOf = [](PeerRole a, PeerRole b, PeerRole x, PeerRole y) {
+        return (a == x && b == y) || (a == y && b == x);
+    };
+    const bool compatible =
+        self == PeerRole::Server || peer_role == PeerRole::Server ||
+        pairOf(self, peer_role, PeerRole::Garbler, PeerRole::Evaluator) ||
+        pairOf(self, peer_role, PeerRole::ShardCoordinator,
+               PeerRole::ShardWorker);
+    if (!compatible)
+        throw NetError("handshake with " + describe() + ": a " +
+                       std::string(peerRoleName(self)) +
+                       " endpoint cannot pair with a " +
+                       std::string(peerRoleName(peer_role)) +
+                       " endpoint");
     return peer_role;
 }
 

@@ -44,6 +44,8 @@ enum class PeerRole : uint8_t
     Garbler = 0,
     Evaluator = 1,
     Server = 2, ///< role decided per session request, after handshake
+    ShardCoordinator = 3, ///< dispatches shard jobs (src/shard)
+    ShardWorker = 4,      ///< simulates one shard per job
 };
 
 const char *peerRoleName(PeerRole role);

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * WireWriter / WireReader: little-endian serialization for frame
+ * payloads.
+ *
+ * The remote GC protocol hand-rolls its few fixed-layout messages; the
+ * shard protocol moves structured data (configs, programs, per-GE
+ * streams, stat blocks) whose layouts will keep growing, so it gets a
+ * real byte-buffer codec. Everything is little-endian and
+ * length-prefixed; the reader throws NetError on underflow instead of
+ * reading garbage, so a truncated or hostile frame fails loudly at the
+ * decode boundary rather than corrupting a simulation.
+ */
+#ifndef HAAC_NET_WIRE_H
+#define HAAC_NET_WIRE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace haac {
+
+class WireWriter
+{
+  public:
+    void u8(uint8_t v) { buf_.push_back(v); }
+
+    void
+    u16(uint16_t v)
+    {
+        u8(uint8_t(v));
+        u8(uint8_t(v >> 8));
+    }
+
+    void
+    u32(uint32_t v)
+    {
+        u16(uint16_t(v));
+        u16(uint16_t(v >> 16));
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        u32(uint32_t(v));
+        u32(uint32_t(v >> 32));
+    }
+
+    /** IEEE-754 bit pattern, little-endian. */
+    void f64(double v);
+
+    /** u64 length + raw bytes. */
+    void str(const std::string &s);
+
+    /** u64 count + elements. */
+    void u32vec(const std::vector<uint32_t> &v);
+    void u64vec(const std::vector<uint64_t> &v);
+
+    /** u64 bit count + packed bytes (LSB-first within each byte). */
+    void bits(const std::vector<bool> &v);
+
+    const std::vector<uint8_t> &bytes() const { return buf_; }
+    std::vector<uint8_t> take() { return std::move(buf_); }
+
+  private:
+    std::vector<uint8_t> buf_;
+};
+
+class WireReader
+{
+  public:
+    explicit WireReader(const std::vector<uint8_t> &buf) : buf_(buf) {}
+
+    uint8_t u8();
+    uint16_t u16();
+    uint32_t u32();
+    uint64_t u64();
+    double f64();
+    std::string str();
+    std::vector<uint32_t> u32vec();
+    std::vector<uint64_t> u64vec();
+    std::vector<bool> bits();
+
+    /** Bytes not yet consumed. */
+    size_t remaining() const { return buf_.size() - pos_; }
+
+    /** Throws NetError unless the payload was consumed exactly. */
+    void expectEnd(const char *what) const;
+
+  private:
+    void need(size_t n) const;
+
+    const std::vector<uint8_t> &buf_;
+    size_t pos_ = 0;
+};
+
+} // namespace haac
+
+#endif // HAAC_NET_WIRE_H

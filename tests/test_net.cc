@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <exception>
@@ -136,6 +137,51 @@ TEST(Transport, FrameRoundtripWithCounters)
     EXPECT_EQ(b->recvFrame(), big);
     EXPECT_EQ(b->framesReceived(), 3u);
     EXPECT_EQ(b->rawBytesReceived(), a->rawBytesSent());
+}
+
+TEST(Loopback, BoundedWindowBlocksWriterUntilReaderDrains)
+{
+    // A 16-byte window and a 4 KB write: the writer must stall on the
+    // stalled reader (flow control) instead of buffering everything.
+    auto [a, b] = LoopbackTransport::createPair(16);
+    std::vector<uint8_t> sent(4096);
+    for (size_t i = 0; i < sent.size(); ++i)
+        sent[i] = uint8_t(i * 13);
+
+    std::atomic<bool> writer_done{false};
+    std::thread writer([&, t = a.get()] {
+        t->writeAll(sent.data(), sent.size());
+        writer_done = true;
+    });
+
+    // Reader stalled: the writer must still be blocked after a grace
+    // period, having pushed at most one window.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    EXPECT_FALSE(writer_done.load());
+
+    std::vector<uint8_t> got(sent.size());
+    b->readAll(got.data(), got.size());
+    writer.join();
+    EXPECT_TRUE(writer_done.load());
+    EXPECT_EQ(got, sent);
+}
+
+TEST(Loopback, CloseUnblocksAStalledWriter)
+{
+    auto [a, b] = LoopbackTransport::createPair(8);
+    std::atomic<bool> threw{false};
+    std::thread writer([&, t = a.get()] {
+        std::vector<uint8_t> big(1024, 0x5a);
+        try {
+            t->writeAll(big.data(), big.size());
+        } catch (const NetError &) {
+            threw = true;
+        }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    b.reset(); // closes both directions
+    writer.join();
+    EXPECT_TRUE(threw.load());
 }
 
 TEST(Transport, HandshakePairsComplementaryRoles)

@@ -59,7 +59,14 @@ usage(const char *argv0)
         "seed+i)\n"
         "  --report-file F  append per-session RunReport JSON lines "
         "to F (default stdout)\n"
-        "  --quiet          no per-session report lines\n",
+        "  --quiet          no per-session report lines\n"
+        "  --shard-worker   serve sharded-simulation workers instead "
+        "of GC sessions\n"
+        "                   (pair with the haac-sim-sharded backend; "
+        "--threads must\n"
+        "                   cover the coordinator's shard count)\n"
+        "  --port-file F    write the bound port number to F "
+        "(useful with --port 0)\n",
         argv0);
 }
 
@@ -72,6 +79,7 @@ main(int argc, char **argv)
     std::string bind_host = "0.0.0.0";
     uint64_t max_sessions = 0;
     std::string report_file;
+    std::string port_file;
     bool quiet = false;
     ServerOptions opts;
     opts.errors = &std::cerr;
@@ -108,6 +116,10 @@ main(int argc, char **argv)
             report_file = value();
         else if (arg == "--quiet")
             quiet = true;
+        else if (arg == "--shard-worker")
+            opts.shardWorker = true;
+        else if (arg == "--port-file")
+            port_file = value();
         else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -141,10 +153,20 @@ main(int argc, char **argv)
 
         std::fprintf(stderr,
                      "haac_server listening on %s:%u (%u workers, "
-                     "segment %u tables)\n",
+                     "segment %u tables%s)\n",
                      bind_host.c_str(), unsigned(listener.port()),
                      unsigned(opts.threads),
-                     unsigned(opts.segmentTables));
+                     unsigned(opts.segmentTables),
+                     opts.shardWorker ? ", shard-worker mode" : "");
+        if (!port_file.empty()) {
+            std::ofstream pf(port_file, std::ios::trunc);
+            if (!pf) {
+                std::fprintf(stderr, "cannot open %s\n",
+                             port_file.c_str());
+                return 1;
+            }
+            pf << listener.port() << "\n";
+        }
 
         GcServer server(opts);
         if (max_sessions == 0) {
