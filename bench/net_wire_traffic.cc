@@ -30,12 +30,12 @@ main(int argc, char **argv)
         parseArgs(argc, argv, "Wire traffic: accounting vs transport");
 
     std::printf("== Wire traffic: software-gc accounting vs bytes on "
-                "the transport (%s scale) ==\n\n",
+                "the transport (%s scale, real IKNP OT) ==\n\n",
                 opts.paperScale ? "paper" : "default");
 
-    Report table({"Benchmark", "Tables", "Labels", "OT", "Decode",
-                  "Payload", "Control", "Framed", "Overhead", "Segs",
-                  "Match"},
+    Report table({"Benchmark", "Tables", "Labels", "OT", "OtUp",
+                  "Decode", "Payload", "Control", "Framed", "Overhead",
+                  "Segs", "Match"},
                  opts.format);
     RunLog log(opts, "net_wire_traffic");
     int mismatches = 0;
@@ -65,6 +65,7 @@ main(int argc, char **argv)
         const bool match = a.tableBytes == w.tableBytes &&
                            a.inputLabelBytes == w.inputLabelBytes &&
                            a.otBytes == w.otBytes &&
+                           a.otUplinkBytes == w.otUplinkBytes &&
                            a.outputDecodeBytes == w.outputDecodeBytes &&
                            a.totalBytes == w.totalBytes &&
                            accounted.outputs == eremote.outputs &&
@@ -80,8 +81,8 @@ main(int argc, char **argv)
 
         const uint64_t framed = eremote.net.rawBytesReceived +
                                 eremote.net.rawBytesSent;
-        const uint64_t payload_both =
-            w.totalBytes + eremote.net.controlBytes;
+        const uint64_t payload_both = w.totalBytes + w.otUplinkBytes +
+                                      eremote.net.controlBytes;
         const double overhead =
             payload_both > 0
                 ? 100.0 * double(framed - payload_both) /
@@ -89,6 +90,7 @@ main(int argc, char **argv)
                 : 0.0;
         table.addRow({name, fmtBytes(w.tableBytes),
                       fmtBytes(w.inputLabelBytes), fmtBytes(w.otBytes),
+                      fmtBytes(w.otUplinkBytes),
                       fmtBytes(w.outputDecodeBytes),
                       fmtBytes(w.totalBytes),
                       fmtBytes(eremote.net.controlBytes),
@@ -97,9 +99,13 @@ main(int argc, char **argv)
                       match ? "exact" : "MISMATCH"});
     }
     table.print(std::cout);
-    std::printf("\nEvery category (tables, input labels, OT, output "
-                "decode) must match the in-process ProtocolResult "
-                "accounting exactly; framing adds 4 B per segment "
-                "frame plus the 8 B hello per direction.\n");
+    std::printf("\nEvery category (tables, input labels, OT down- and "
+                "uplink, output decode) must match the in-process "
+                "ProtocolResult accounting exactly; OT here is the "
+                "real base-OT + IKNP extension (OT = 4 KB of base "
+                "points + 32 B per evaluator bit down, OtUp = 32 B "
+                "key + 2 KB of masked columns per 128-bit block up); "
+                "framing adds 4 B per segment frame plus the 8 B "
+                "hello per direction.\n");
     return mismatches == 0 ? 0 : 1;
 }

@@ -58,7 +58,8 @@ SoftwareGcBackend::execute(const Session &session)
 
     RunReport report;
     const auto start = Clock::now();
-    ProtocolResult res = runProtocol(netlist, gb, eb, session.seed());
+    ProtocolResult res = runProtocol(netlist, gb, eb, session.seed(),
+                                     session.otMode());
     report.hostSeconds = secondsSince(start);
 
     report.outputs = std::move(res.outputs);
@@ -66,6 +67,7 @@ SoftwareGcBackend::execute(const Session &session)
     report.comm.tableBytes = res.tableBytes;
     report.comm.inputLabelBytes = res.inputLabelBytes;
     report.comm.otBytes = res.otBytes;
+    report.comm.otUplinkBytes = res.otUplinkBytes;
     report.comm.outputDecodeBytes = res.outputDecodeBytes;
     report.comm.totalBytes = res.totalBytes;
     report.hasComm = true;
@@ -181,6 +183,7 @@ RemoteGcBackend::execute(const Session &session)
     const Netlist &netlist = session.netlist();
     RemoteOptions ropts;
     ropts.segmentTables = session.segmentTables();
+    ropts.otMode = session.otMode();
 
     RemoteResult result;
     if (role == Role::Garbler) {

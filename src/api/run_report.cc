@@ -173,6 +173,7 @@ RunReport::toJson() const
         j.add("table_bytes", comm.tableBytes);
         j.add("input_label_bytes", comm.inputLabelBytes);
         j.add("ot_bytes", comm.otBytes);
+        j.add("ot_uplink_bytes", comm.otUplinkBytes);
         j.add("output_decode_bytes", comm.outputDecodeBytes);
         j.add("total_bytes", comm.totalBytes);
         j.end();
@@ -187,6 +188,7 @@ RunReport::toJson() const
         j.add("control_bytes", net.controlBytes);
         j.add("table_segments", net.tableSegments);
         j.add("segment_tables", uint64_t(net.segmentTables));
+        j.add("ot_mode", std::string(otModeName(net.otMode)));
         j.add("gates", net.gates);
         j.add("gates_per_second", net.gatesPerSecond);
         j.end();

@@ -21,6 +21,7 @@
 #include "core/sim/config.h"
 #include "core/sim/engine.h"
 #include "core/sim/stats.h"
+#include "gc/ot.h"
 #include "platform/energy_model.h"
 
 namespace haac {
@@ -54,6 +55,10 @@ struct RunReport
         uint64_t tableBytes = 0;
         uint64_t inputLabelBytes = 0;
         uint64_t otBytes = 0;
+        /** Evaluator→garbler OT traffic (real OT only; see
+         *  ProtocolResult::otUplinkBytes). Not part of totalBytes,
+         *  which counts garbler→evaluator payload. */
+        uint64_t otUplinkBytes = 0;
         uint64_t outputDecodeBytes = 0;
         uint64_t totalBytes = 0;
     };
@@ -78,6 +83,8 @@ struct RunReport
         uint64_t tableSegments = 0;
         /** Tables per segment the garbler streamed with. */
         uint32_t segmentTables = 0;
+        /** OT construction the session ran ("iknp" or "sim-ot"). */
+        OtMode otMode = OtMode::Iknp;
         uint64_t gates = 0;
         double gatesPerSecond = 0;
     };

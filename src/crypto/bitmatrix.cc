@@ -1,0 +1,48 @@
+#include "crypto/bitmatrix.h"
+
+#include <cstring>
+
+namespace haac {
+
+void
+transpose64(uint64_t m[64])
+{
+    // Butterfly exchange (Hacker's Delight 7-3), mirrored for the
+    // LSB-first bit convention: swap the 2^j x 2^j off-diagonal
+    // blocks at every scale.
+    uint64_t mask = 0x00000000ffffffffull;
+    for (int j = 32; j != 0; j >>= 1, mask ^= mask << j) {
+        for (int k = 0; k < 64; k = (k + j + 1) & ~j) {
+            const uint64_t t = ((m[k] >> j) ^ m[k + j]) & mask;
+            m[k] ^= t << j;
+            m[k + j] ^= t;
+        }
+    }
+}
+
+void
+transpose128Block(const uint8_t *cols, size_t col_stride,
+                  Label rows[128])
+{
+    // Four 64 x 64 quadrants: (column half a, row half b).
+    uint64_t q[64];
+    for (int a = 0; a < 2; ++a) {
+        for (int b = 0; b < 2; ++b) {
+            for (int i = 0; i < 64; ++i)
+                std::memcpy(&q[i],
+                            cols + size_t(64 * a + i) * col_stride +
+                                8 * b,
+                            8);
+            transpose64(q);
+            for (int j = 0; j < 64; ++j) {
+                Label &row = rows[64 * b + j];
+                if (a == 0)
+                    row.lo = q[j];
+                else
+                    row.hi = q[j];
+            }
+        }
+    }
+}
+
+} // namespace haac

@@ -1,28 +1,63 @@
 #include "crypto/prg.h"
 
+#include <cstring>
+#include <random>
+
 namespace haac {
 
 namespace {
+
+uint64_t
+mix(uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
 
 Label
 seedToKey(uint64_t seed)
 {
     // Spread the seed across the key with distinct mixing constants
     // (splitmix64 finalizer) so nearby seeds give unrelated keys.
-    uint64_t z = seed + 0x9e3779b97f4a7c15ull;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-    uint64_t lo = z ^ (z >> 31);
-    z = seed + 0x7f4a7c15'9e3779b9ull;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-    uint64_t hi = z ^ (z >> 31);
+    uint64_t lo = mix(seed + 0x9e3779b97f4a7c15ull);
+    uint64_t hi = mix(seed + 0x7f4a7c15'9e3779b9ull);
     return Label(lo, hi);
 }
 
 } // namespace
 
+uint64_t
+splitmix64(uint64_t x)
+{
+    return mix(x + 0x9e3779b97f4a7c15ull);
+}
+
+uint64_t
+randomSeed()
+{
+    std::random_device rd;
+    return (uint64_t(rd()) << 32) ^ rd();
+}
+
 Prg::Prg(uint64_t seed) : aes_(seedToKey(seed)) {}
+
+Prg::Prg(const Label &key) : aes_(key) {}
+
+void
+Prg::nextBytes(uint8_t *out, size_t n)
+{
+    while (n >= kLabelBytes) {
+        nextLabel().toBytes(out);
+        out += kLabelBytes;
+        n -= kLabelBytes;
+    }
+    if (n > 0) {
+        uint8_t block[kLabelBytes];
+        nextLabel().toBytes(block);
+        std::memcpy(out, block, n);
+    }
+}
 
 Label
 Prg::nextLabel()

@@ -10,6 +10,7 @@
 #ifndef HAAC_CRYPTO_PRG_H
 #define HAAC_CRYPTO_PRG_H
 
+#include <cstddef>
 #include <cstdint>
 
 #include "crypto/aes128.h"
@@ -17,12 +18,38 @@
 
 namespace haac {
 
+/**
+ * SplitMix64 finalizer: a cheap bijective mix for deriving unrelated
+ * seeds from related ones (never maps distinct inputs together, so no
+ * derived-seed collision can collapse two streams).
+ */
+uint64_t splitmix64(uint64_t x);
+
+/**
+ * A fresh, non-deterministic 64-bit seed from the OS entropy source.
+ *
+ * The networked protocol draws its on-wire OT randomness here so a
+ * peer can never reconstruct it from other protocol values (the
+ * simulated-OT seed-leak fix); deterministic test paths keep passing
+ * explicit seeds instead.
+ */
+uint64_t randomSeed();
+
 /** AES-CTR pseudorandom label stream. */
 class Prg
 {
   public:
     /** Seed the stream; two Prgs with equal seeds emit equal streams. */
     explicit Prg(uint64_t seed);
+
+    /**
+     * Key the stream with a full 128-bit key (the OT extension seeds
+     * its column streams with base-OT output keys).
+     */
+    explicit Prg(const Label &key);
+
+    /** Fill @p n bytes of pseudorandom output. */
+    void nextBytes(uint8_t *out, size_t n);
 
     /** Next 128 pseudorandom bits. */
     Label nextLabel();

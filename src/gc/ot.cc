@@ -2,6 +2,18 @@
 
 namespace haac {
 
+const char *
+otModeName(OtMode mode)
+{
+    return mode == OtMode::Simulated ? "sim-ot" : "iknp";
+}
+
+uint64_t
+OtSender::defaultBurnSeed(uint64_t seed)
+{
+    return splitmix64(~seed ^ 0x6275726e5f6f7421ull); // "burn_ot!"
+}
+
 void
 OtSender::send(const Label &m0, const Label &m1, bool receiver_choice)
 {

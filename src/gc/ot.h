@@ -1,14 +1,15 @@
 /**
  * @file
- * Simulated 1-out-of-2 oblivious transfer.
+ * Simulated 1-out-of-2 oblivious transfer, and the OtMode selector.
  *
  * The paper's protocol obtains the Evaluator's input labels via OT
- * (§2.1). A real deployment would run an OT-extension protocol; here
- * both parties live in one process, so we provide a *simulated* OT that
- * preserves the interface, message count, and traffic volume of a
- * one-round OT (two masked labels per choice bit) without implementing
- * the public-key machinery — see DESIGN.md substitutions. The receiver
- * only ever observes the label matching its choice bit.
+ * (§2.1). The real construction lives in gc/base_ot.h + gc/ot_ext.h
+ * and is the default everywhere; this header keeps the original
+ * *simulated* OT — which preserves the interface, message count, and
+ * traffic volume of a one-round OT (two masked labels per choice bit)
+ * without the public-key machinery — selectable for deterministic
+ * traffic tests (see DESIGN.md substitutions). The receiver only ever
+ * observes the label matching its choice bit.
  */
 #ifndef HAAC_GC_OT_H
 #define HAAC_GC_OT_H
@@ -23,6 +24,22 @@
 namespace haac {
 
 /**
+ * Which OT construction moves the evaluator's input labels.
+ *
+ * Iknp is the real protocol (gc/base_ot.h + gc/ot_ext.h) and the
+ * default everywhere; Simulated keeps the original shared-pad
+ * stand-in selectable ("sim-ot") for deterministic traffic tests.
+ */
+enum class OtMode
+{
+    Simulated,
+    Iknp,
+};
+
+/** "sim-ot" / "iknp" (config strings, reports). */
+const char *otModeName(OtMode mode);
+
+/**
  * Simulated OT sender endpoint: transfers one of (m0, m1) per choice.
  */
 class OtSender
@@ -30,19 +47,36 @@ class OtSender
   public:
     /**
      * @param seed shared randomness for the masking pads (the
-     *        receiver holds the same seed).
+     *        receiver holds the same seed). The burn seed defaults to
+     *        a splitmix64 mix of @p seed — fine for in-process runs
+     *        where both endpoints live in one address space anyway,
+     *        but any deployment whose receiver can see @p seed must
+     *        use the two-seed overload.
+     */
+    OtSender(ByteChannel &to_receiver, uint64_t seed)
+        : OtSender(to_receiver, seed, defaultBurnSeed(seed))
+    {}
+
+    /**
      * @param private_seed sender-only randomness that burns the
      *        non-chosen ciphertext; it must never reach the receiver
      *        (that is what makes "the evaluator never sees both
-     *        labels" hold even in the simulation). Defaults to a
-     *        fixed mix of @p seed for in-process runs where both
-     *        endpoints live in one address space anyway.
+     *        labels" hold even in the simulation). Every value is
+     *        honored — including 0, which the old sentinel silently
+     *        replaced with a seed-derived default.
      */
     OtSender(ByteChannel &to_receiver, uint64_t seed,
-             uint64_t private_seed = 0)
-        : channel_(&to_receiver), prg_(seed),
-          burn_(private_seed ? private_seed : ~seed * 0x6275726eull)
+             uint64_t private_seed)
+        : channel_(&to_receiver), prg_(seed), burn_(private_seed)
     {}
+
+    /**
+     * The one-seed constructor's burn seed: a bijective splitmix64
+     * mix of the complemented seed. Unlike the old
+     * `~seed * 0x6275726e` fold, it cannot collapse to a fixed value
+     * (`~seed * k` is 0 whenever seed == ~0).
+     */
+    static uint64_t defaultBurnSeed(uint64_t seed);
 
     /**
      * Send one OT: the receiver with choice bit c recovers m_c.

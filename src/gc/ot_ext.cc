@@ -1,0 +1,230 @@
+#include "gc/ot_ext.h"
+
+#include <stdexcept>
+
+#include "crypto/bitmatrix.h"
+#include "crypto/hash.h"
+
+namespace haac {
+
+namespace {
+
+/**
+ * Correlation-robust hash tweak base for extended OT j; the base-OT
+ * domain uses kBaseOtTweak (base_ot.cc) and garbling tweaks are dense
+ * near zero, so the three spaces cannot collide.
+ */
+constexpr uint64_t kOtExtTweak = 0x4f5445585f000000ull; // "OTEX_"
+
+size_t
+blocksFor(size_t count)
+{
+    return (count + kOtExtColumns - 1) / kOtExtColumns;
+}
+
+bool
+columnChoiceBit(const Label &s, size_t i)
+{
+    return ((i < 64 ? s.lo >> i : s.hi >> (i - 64)) & 1) != 0;
+}
+
+void
+xorBytes(uint8_t *dst, const uint8_t *src, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        dst[i] ^= src[i];
+}
+
+} // namespace
+
+Label
+otRandomKey()
+{
+    return Label(randomSeed(), randomSeed());
+}
+
+OtExtSender::OtExtSender(ByteChannel &out, ByteChannel &in,
+                         const Label &rng_key)
+    : out_(&out), in_(&in), rng_(rng_key)
+{
+}
+
+OtExtSender::OtExtSender(ByteChannel &out, ByteChannel &in,
+                         uint64_t rng_seed)
+    : out_(&out), in_(&in), rng_(rng_seed)
+{
+}
+
+void
+OtExtSender::setup()
+{
+    std::vector<bool> s_bits(kOtExtColumns);
+    for (size_t i = 0; i < kOtExtColumns; ++i) {
+        const bool bit = rng_.nextBit();
+        s_bits[i] = bit;
+        if (bit) {
+            if (i < 64)
+                s_.lo |= uint64_t(1) << i;
+            else
+                s_.hi |= uint64_t(1) << (i - 64);
+        }
+    }
+
+    // IKNP role reversal: receive the base OTs with choice vector s.
+    BaseOtReceiver base(*out_, *in_, rng_);
+    base.run(s_bits);
+    columnPrg_.reserve(kOtExtColumns);
+    for (const Label &key : base.keys())
+        columnPrg_.emplace_back(key);
+    ready_ = true;
+}
+
+void
+OtExtSender::send(const std::vector<Label> &m0,
+                  const std::vector<Label> &m1)
+{
+    if (!ready_)
+        throw std::logic_error("OtExtSender: send() before setup()");
+    if (m0.size() != m1.size())
+        throw std::invalid_argument(
+            "OtExtSender: mismatched message vectors");
+    const size_t m = m0.size();
+    if (m == 0)
+        return;
+
+    const size_t blocks = blocksFor(m);
+    const size_t col_bytes = blocks * kLabelBytes;
+
+    // Receiver's masked columns, then this side's view q_i.
+    std::vector<uint8_t> u(kOtExtColumns * col_bytes);
+    in_->recvBytes(u.data(), u.size());
+    std::vector<uint8_t> q(kOtExtColumns * col_bytes);
+    for (size_t i = 0; i < kOtExtColumns; ++i) {
+        uint8_t *qi = q.data() + i * col_bytes;
+        columnPrg_[i].nextBytes(qi, col_bytes);
+        if (columnChoiceBit(s_, i))
+            xorBytes(qi, u.data() + i * col_bytes, col_bytes);
+    }
+
+    std::vector<Label> rows(blocks * kOtExtColumns);
+    for (size_t b = 0; b < blocks; ++b)
+        transpose128Block(q.data() + b * kLabelBytes, col_bytes,
+                          &rows[b * kOtExtColumns]);
+
+    // q_j = t_j ^ r_j*s, so H(j, q_j) masks m0 toward choice 0 and
+    // H(j, q_j ^ s) masks m1 toward choice 1.
+    for (size_t j = 0; j < m; ++j) {
+        const RekeyedHasher h(kOtExtTweak + tweakBase_ + j);
+        out_->sendLabel(m0[j] ^ h(rows[j]));
+        out_->sendLabel(m1[j] ^ h(rows[j] ^ s_));
+    }
+    tweakBase_ += blocks * kOtExtColumns;
+    out_->flush();
+}
+
+OtExtReceiver::OtExtReceiver(ByteChannel &out, ByteChannel &in,
+                             const Label &rng_key)
+    : out_(&out), in_(&in), rng_(rng_key), base_(out, in, rng_)
+{
+}
+
+OtExtReceiver::OtExtReceiver(ByteChannel &out, ByteChannel &in,
+                             uint64_t rng_seed)
+    : out_(&out), in_(&in), rng_(rng_seed), base_(out, in, rng_)
+{
+}
+
+void
+OtExtReceiver::start()
+{
+    base_.start();
+}
+
+void
+OtExtReceiver::setup()
+{
+    base_.finish(kOtExtColumns);
+    columnPrg0_.reserve(kOtExtColumns);
+    columnPrg1_.reserve(kOtExtColumns);
+    for (size_t i = 0; i < kOtExtColumns; ++i) {
+        columnPrg0_.emplace_back(base_.keys0()[i]);
+        columnPrg1_.emplace_back(base_.keys1()[i]);
+    }
+    ready_ = true;
+}
+
+void
+OtExtReceiver::sendChoices(const std::vector<bool> &choices)
+{
+    if (!ready_)
+        throw std::logic_error(
+            "OtExtReceiver: sendChoices() before setup()");
+    if (batchPending_)
+        throw std::logic_error(
+            "OtExtReceiver: previous batch not yet received");
+    choices_ = choices;
+    const size_t m = choices.size();
+    if (m == 0)
+        return;
+
+    const size_t blocks = blocksFor(m);
+    const size_t col_bytes = blocks * kLabelBytes;
+
+    // Choice bits as a column, padded to the block boundary with
+    // random bits (the pad OTs are simply never used).
+    std::vector<uint8_t> r(col_bytes);
+    rng_.nextBytes(r.data(), r.size());
+    for (size_t j = 0; j < m; ++j) {
+        const uint8_t bit = uint8_t(1) << (j % 8);
+        if (choices[j])
+            r[j / 8] |= bit;
+        else
+            r[j / 8] &= uint8_t(~bit);
+    }
+
+    std::vector<uint8_t> t(kOtExtColumns * col_bytes);
+    std::vector<uint8_t> u(kOtExtColumns * col_bytes);
+    for (size_t i = 0; i < kOtExtColumns; ++i) {
+        uint8_t *ti = t.data() + i * col_bytes;
+        uint8_t *ui = u.data() + i * col_bytes;
+        columnPrg0_[i].nextBytes(ti, col_bytes);
+        columnPrg1_[i].nextBytes(ui, col_bytes);
+        xorBytes(ui, ti, col_bytes);
+        xorBytes(ui, r.data(), col_bytes);
+    }
+    out_->sendBytes(u.data(), u.size());
+    out_->flush();
+
+    rows_.assign(blocks * kOtExtColumns, Label());
+    for (size_t b = 0; b < blocks; ++b)
+        transpose128Block(t.data() + b * kLabelBytes, col_bytes,
+                          &rows_[b * kOtExtColumns]);
+    batchPending_ = true;
+}
+
+std::vector<Label>
+OtExtReceiver::receiveLabels()
+{
+    if (!ready_)
+        throw std::logic_error(
+            "OtExtReceiver: receiveLabels() before setup()");
+    if (!batchPending_) {
+        if (choices_.empty())
+            return {}; // an empty batch legitimately has no labels
+        throw std::logic_error(
+            "OtExtReceiver: receiveLabels() without sendChoices()");
+    }
+    const size_t m = choices_.size();
+    std::vector<Label> labels(m);
+    for (size_t j = 0; j < m; ++j) {
+        const Label y0 = in_->recvLabel();
+        const Label y1 = in_->recvLabel();
+        const RekeyedHasher h(kOtExtTweak + tweakBase_ + j);
+        labels[j] = (choices_[j] ? y1 : y0) ^ h(rows_[j]);
+    }
+    tweakBase_ += blocksFor(m) * kOtExtColumns;
+    batchPending_ = false;
+    return labels;
+}
+
+} // namespace haac

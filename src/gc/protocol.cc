@@ -4,17 +4,133 @@
 #include <stdexcept>
 
 #include "gc/ot.h"
+#include "gc/ot_ext.h"
 
 namespace haac {
 
+namespace {
+
+/** Seed tags for the two parties' in-process OT randomness. */
+constexpr uint64_t kOtSenderTag = 0x4f545f5347ull;   // "OT_SG"
+constexpr uint64_t kOtReceiverTag = 0x4f545f5245ull; // "OT_RE"
+
+/**
+ * Shared tail of both modes: evaluate, decode, and measure the
+ * downlink total *independently* off the channel counter — so the
+ * tests' "totalBytes == sum of categories" assertion stays a real
+ * cross-check that the category windows tile the stream exactly.
+ */
+void
+finishEvaluation(const Netlist &netlist, const std::vector<Label> &inputs,
+                 const std::vector<GarbledTable> &tables,
+                 const std::vector<bool> &decode,
+                 const DuplexChannel &chan, ProtocolResult &res)
+{
+    Evaluator evaluator(netlist);
+    const std::vector<Label> out_labels =
+        evaluator.evaluate(inputs, tables);
+    res.outputs.resize(out_labels.size());
+    for (size_t i = 0; i < out_labels.size(); ++i)
+        res.outputs[i] = out_labels[i].lsb() != decode[i];
+    res.totalBytes = chan.toEvaluator.bytesSent();
+}
+
+/**
+ * The IKNP protocol, one thread driving both endpoints through the
+ * in-process FIFOs in wire order. The OT phase must run before any
+ * other garbler→evaluator traffic: the channels are strict FIFOs, and
+ * the evaluator has to consume the base-OT points and masked labels
+ * at the head of the stream while the garbler is still mid-protocol.
+ */
+ProtocolResult
+runProtocolIknp(const Netlist &netlist,
+                const std::vector<bool> &garbler_bits,
+                const std::vector<bool> &evaluator_bits, uint64_t seed)
+{
+    ProtocolResult res;
+    DuplexChannel chan;
+    Garbler garbler(netlist, seed);
+
+    const uint32_t eval_base = netlist.numGarblerInputs;
+    const uint32_t m = netlist.numEvaluatorInputs;
+
+    // --- OT phase: both endpoints interleaved in protocol order. ---
+    std::vector<Label> eval_labels;
+    if (m > 0) {
+        OtExtReceiver ot_recv(chan.toGarbler, chan.toEvaluator,
+                              splitmix64(seed ^ kOtReceiverTag));
+        OtExtSender ot_send(chan.toEvaluator, chan.toGarbler,
+                            splitmix64(seed ^ kOtSenderTag));
+        ot_recv.start();
+        ot_send.setup();
+        ot_recv.setup();
+        ot_recv.sendChoices(evaluator_bits);
+        std::vector<Label> m0(m), m1(m);
+        for (uint32_t i = 0; i < m; ++i) {
+            m0[i] = garbler.activeLabel(eval_base + i, false);
+            m1[i] = garbler.activeLabel(eval_base + i, true);
+        }
+        ot_send.send(m0, m1);
+        eval_labels = ot_recv.receiveLabels();
+    }
+    if (netlist.constOne != kNoWire)
+        chan.toEvaluator.sendLabel(
+            garbler.activeLabel(netlist.constOne, true));
+    res.otBytes = chan.toEvaluator.bytesSent();
+    res.otUplinkBytes = chan.toGarbler.bytesSent();
+
+    // --- Remaining garbler traffic: tables, labels, decode bits. ---
+    size_t base = chan.toEvaluator.bytesSent();
+    for (const GarbledTable &t : garbler.tables())
+        chan.toEvaluator.sendTable(t);
+    res.tableBytes = chan.toEvaluator.bytesSent() - base;
+
+    base = chan.toEvaluator.bytesSent();
+    for (uint32_t i = 0; i < netlist.numGarblerInputs; ++i)
+        chan.toEvaluator.sendLabel(
+            garbler.activeLabel(i, garbler_bits[i]));
+    res.inputLabelBytes = chan.toEvaluator.bytesSent() - base;
+
+    for (size_t i = 0; i < netlist.outputs.size(); ++i)
+        chan.toEvaluator.sendBit(garbler.decodeBit(i));
+    res.outputDecodeBytes = netlist.outputs.size();
+
+    // --- Evaluator side: consume the stream, evaluate, decode. ---
+    std::vector<Label> inputs(netlist.numInputs());
+    for (uint32_t i = 0; i < m; ++i)
+        inputs[eval_base + i] = eval_labels[i];
+    if (netlist.constOne != kNoWire)
+        inputs[netlist.constOne] = chan.toEvaluator.recvLabel();
+
+    std::vector<GarbledTable> tables(garbler.tables().size());
+    for (GarbledTable &t : tables)
+        t = chan.toEvaluator.recvTable();
+    for (uint32_t i = 0; i < netlist.numGarblerInputs; ++i)
+        inputs[i] = chan.toEvaluator.recvLabel();
+
+    std::vector<bool> decode(netlist.outputs.size());
+    for (size_t i = 0; i < decode.size(); ++i)
+        decode[i] = chan.toEvaluator.recvBit();
+
+    finishEvaluation(netlist, inputs, tables, decode, chan, res);
+    return res;
+}
+
+} // namespace
+
 ProtocolResult
 runProtocol(const Netlist &netlist, const std::vector<bool> &garbler_bits,
-            const std::vector<bool> &evaluator_bits, uint64_t seed)
+            const std::vector<bool> &evaluator_bits, uint64_t seed,
+            OtMode ot_mode)
 {
     if (garbler_bits.size() != netlist.numGarblerInputs)
         throw std::invalid_argument("protocol: wrong garbler input count");
     if (evaluator_bits.size() != netlist.numEvaluatorInputs)
         throw std::invalid_argument("protocol: wrong evaluator input count");
+
+    if (ot_mode == OtMode::Iknp)
+        return runProtocolIknp(netlist, garbler_bits, evaluator_bits,
+                               seed);
 
     ProtocolResult res;
     DuplexChannel chan;
@@ -71,13 +187,7 @@ runProtocol(const Netlist &netlist, const std::vector<bool> &garbler_bits,
     for (size_t i = 0; i < decode.size(); ++i)
         decode[i] = chan.toEvaluator.recvBit();
 
-    Evaluator evaluator(netlist);
-    std::vector<Label> out_labels = evaluator.evaluate(inputs, tables);
-
-    res.outputs.resize(out_labels.size());
-    for (size_t i = 0; i < out_labels.size(); ++i)
-        res.outputs[i] = out_labels[i].lsb() != decode[i];
-    res.totalBytes = chan.totalBytes();
+    finishEvaluation(netlist, inputs, tables, decode, chan, res);
     return res;
 }
 

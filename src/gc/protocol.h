@@ -16,6 +16,7 @@
 #include "gc/channel.h"
 #include "gc/evaluator.h"
 #include "gc/garbler.h"
+#include "gc/ot.h"
 
 namespace haac {
 
@@ -24,12 +25,20 @@ struct ProtocolResult
 {
     std::vector<bool> outputs;
 
-    /** @name Communication accounting */
+    /** @name Communication accounting
+     *
+     * The four categories count garbler→evaluator payload;
+     * otUplinkBytes is the evaluator→garbler OT traffic (base-OT
+     * public key + masked columns) that only exists under
+     * OtMode::Iknp — the simulation needs no uplink.
+     */
     /// @{
     size_t tableBytes = 0;
     size_t inputLabelBytes = 0;
     size_t otBytes = 0;
+    size_t otUplinkBytes = 0;
     size_t outputDecodeBytes = 0;
+    /** Garbler→evaluator total (sum of the four categories). */
     size_t totalBytes = 0;
     /// @}
 };
@@ -41,11 +50,14 @@ struct ProtocolResult
  * @param garbler_bits Alice's input bits.
  * @param evaluator_bits Bob's input bits.
  * @param seed garbling randomness.
+ * @param ot_mode how the evaluator's labels transfer: real IKNP OT
+ *        (default) or the deterministic simulation.
  */
 ProtocolResult runProtocol(const Netlist &netlist,
                            const std::vector<bool> &garbler_bits,
                            const std::vector<bool> &evaluator_bits,
-                           uint64_t seed = 0x4841414331ull);
+                           uint64_t seed = 0x4841414331ull,
+                           OtMode ot_mode = OtMode::Iknp);
 
 /**
  * Timing breakdown of the software pipeline, for CPU-baseline numbers.

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "gc/ot.h"
+#include "gc/ot_ext.h"
 #include "gc/streaming.h"
 #include "net/net_channel.h"
 
@@ -13,22 +14,24 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/**
- * OT pad seed, derived from (not equal to) the garbling seed: the
- * evaluator learns it in cleartext (the OT is simulated — see
- * DESIGN.md), so at least don't hand over the label-generating seed
- * itself. SplitMix64 finalizer.
- */
-uint64_t
-otSeedFrom(uint64_t seed)
-{
-    uint64_t z = seed + 0x9e3779b97f4a7c15ull;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-    return z ^ (z >> 31);
-}
+/** Tag for the garbler's sim-OT burn seed (mixed with the private
+ *  garbling seed; never derivable from anything on the wire). */
+constexpr uint64_t kSimBurnTag = 0x73696d5f6f74ull; // "sim_ot"
 
-/** Circuit agreement check + OT seed + segmenting, 36 bytes. */
+/**
+ * Circuit agreement check + OT parameters + segmenting, 37 bytes.
+ *
+ * Wire layout (little-endian), which tests/test_net.cc parses when it
+ * plays a hand-rolled peer: six u32 shape fields (offsets 0..23), the
+ * shared sim-OT pad seed (offset 24, u64), segmentTables (offset 32,
+ * u32), otMode (offset 36, u8: 0 = sim-ot, 1 = iknp).
+ *
+ * The sim-OT seed is *fresh randomness*, not a derivation of the
+ * garbling seed: the evaluator sees it in cleartext, and the old
+ * otSeedFrom(seed) derivation was an invertible mix — a receiver
+ * could recover the garbling seed and with it the burn pads, i.e.
+ * both labels of every OT.
+ */
 struct Fingerprint
 {
     uint32_t garblerInputs = 0;
@@ -39,8 +42,9 @@ struct Fingerprint
     uint32_t constOne = 0;
     uint64_t otSeed = 0;
     uint32_t segmentTables = 0;
+    OtMode otMode = OtMode::Iknp;
 
-    static constexpr size_t kBytes = 6 * 4 + 8 + 4;
+    static constexpr size_t kBytes = 6 * 4 + 8 + 4 + 1;
 
     static Fingerprint
     of(const Netlist &nl)
@@ -72,6 +76,7 @@ struct Fingerprint
         for (int i = 0; i < 8; ++i)
             out[at++] = uint8_t(otSeed >> (8 * i));
         u32(segmentTables);
+        out[at++] = otMode == OtMode::Iknp ? 1 : 0;
     }
 
     static Fingerprint
@@ -96,10 +101,11 @@ struct Fingerprint
             seed |= uint64_t(in[at++]) << (8 * i);
         fp.otSeed = seed;
         fp.segmentTables = u32();
+        fp.otMode = in[at++] != 0 ? OtMode::Iknp : OtMode::Simulated;
         return fp;
     }
 
-    /** Shape equality (OT seed / segmenting are garbler's to pick). */
+    /** Shape equality (OT parameters / segmenting are garbler's). */
     bool
     sameCircuit(const Fingerprint &o) const
     {
@@ -145,52 +151,81 @@ runRemoteGarbler(const Netlist &netlist,
     RemoteResult res;
     res.gates = netlist.numGates();
     res.segmentTables = segment_tables;
+    res.otMode = opts.otMode;
     NetChannel chan(transport, size_t(segment_tables) * kTableBytes);
 
     // Fingerprint: agree on the circuit before any label moves.
     Fingerprint fp = Fingerprint::of(netlist);
-    fp.otSeed = otSeedFrom(seed);
+    fp.otSeed = randomSeed();
     fp.segmentTables = segment_tables;
+    fp.otMode = opts.otMode;
     uint8_t fp_bytes[Fingerprint::kBytes];
     fp.serialize(fp_bytes);
     chan.sendBytes(fp_bytes, sizeof(fp_bytes));
     chan.flush();
     res.controlBytes += sizeof(fp_bytes);
 
-    // Evaluator's OT choice bits (the uplink a real OT would use).
-    std::vector<uint8_t> choices(netlist.numEvaluatorInputs);
-    if (!choices.empty())
-        chan.recvBytes(choices.data(), choices.size());
-    res.controlBytes += choices.size();
-
     StreamingGarbler garbler(netlist, seed);
+    const uint32_t eval_base = netlist.numGarblerInputs;
+    const uint32_t m = netlist.numEvaluatorInputs;
 
-    // Garbler's own input labels.
-    size_t base = chan.bytesSent();
-    uint32_t w = 0;
-    for (uint32_t i = 0; i < netlist.numGarblerInputs; ++i, ++w)
-        chan.sendLabel(garbler.activeLabel(w, garbler_bits[i]));
-    res.inputLabelBytes = chan.bytesSent() - base;
+    if (opts.otMode == OtMode::Iknp) {
+        // --- Real OT phase (before any other label traffic). ---
+        size_t base = chan.bytesSent();
+        const size_t uplink_base = chan.bytesReceived();
+        if (m > 0) {
+            OtExtSender ot(chan, chan, otRandomKey());
+            ot.setup(); // blocks on the evaluator's base-OT key
+            std::vector<Label> m0(m), m1(m);
+            for (uint32_t i = 0; i < m; ++i) {
+                m0[i] = garbler.activeLabel(eval_base + i, false);
+                m1[i] = garbler.activeLabel(eval_base + i, true);
+            }
+            ot.send(m0, m1);
+        }
+        if (netlist.constOne != kNoWire)
+            chan.sendLabel(garbler.activeLabel(netlist.constOne, true));
+        res.otBytes = chan.bytesSent() - base;
+        res.otUplinkBytes = chan.bytesReceived() - uplink_base;
+        chan.flush();
 
-    // Evaluator inputs via simulated OT, then the public constant.
-    base = chan.bytesSent();
-    const uint32_t eval_base = w;
-    // The burn seed derives from the garbling seed the evaluator never
-    // learns — across the wire, the non-chosen label is genuinely
-    // unrecoverable.
-    OtSender ot(chan, fp.otSeed, otSeedFrom(~seed));
-    for (uint32_t i = 0; i < netlist.numEvaluatorInputs; ++i) {
-        const WireId wire = eval_base + i;
-        ot.send(garbler.activeLabel(wire, false),
-                garbler.activeLabel(wire, true), choices[i] != 0);
+        // Garbler's own input labels, flushed so the table stream
+        // starts on a frame boundary (both sides' segment counters
+        // must window the same frames).
+        base = chan.bytesSent();
+        for (uint32_t i = 0; i < netlist.numGarblerInputs; ++i)
+            chan.sendLabel(garbler.activeLabel(i, garbler_bits[i]));
+        res.inputLabelBytes = chan.bytesSent() - base;
+        chan.flush();
+    } else {
+        // --- Simulated OT: evaluator uplinks its choices in the
+        // clear; pads come from the fingerprint's fresh shared seed,
+        // burns from a garbling-seed mix that never hits the wire. ---
+        std::vector<uint8_t> choices(m);
+        if (!choices.empty())
+            chan.recvBytes(choices.data(), choices.size());
+        res.controlBytes += choices.size();
+
+        size_t base = chan.bytesSent();
+        for (uint32_t i = 0; i < netlist.numGarblerInputs; ++i)
+            chan.sendLabel(garbler.activeLabel(i, garbler_bits[i]));
+        res.inputLabelBytes = chan.bytesSent() - base;
+
+        base = chan.bytesSent();
+        OtSender ot(chan, fp.otSeed, splitmix64(seed ^ kSimBurnTag));
+        for (uint32_t i = 0; i < m; ++i) {
+            const WireId wire = eval_base + i;
+            ot.send(garbler.activeLabel(wire, false),
+                    garbler.activeLabel(wire, true), choices[i] != 0);
+        }
+        if (netlist.constOne != kNoWire)
+            chan.sendLabel(garbler.activeLabel(netlist.constOne, true));
+        res.otBytes = chan.bytesSent() - base;
+        chan.flush();
     }
-    if (netlist.constOne != kNoWire)
-        chan.sendLabel(garbler.activeLabel(netlist.constOne, true));
-    res.otBytes = chan.bytesSent() - base;
-    chan.flush();
 
     // Table stream: one frame per segment of tables.
-    base = chan.bytesSent();
+    size_t base = chan.bytesSent();
     const uint64_t frames_before = transport.framesSent();
     garbler.run([&](const GarbledTable &t) { chan.sendTable(t); });
     chan.flush();
@@ -238,40 +273,68 @@ runRemoteEvaluator(const Netlist &netlist,
     res.controlBytes += sizeof(fp_bytes);
     const Fingerprint remote_fp = Fingerprint::deserialize(fp_bytes);
     res.segmentTables = remote_fp.segmentTables;
+    res.otMode = remote_fp.otMode;
     const Fingerprint local_fp = Fingerprint::of(netlist);
     if (!remote_fp.sameCircuit(local_fp))
         throw NetError("remote circuit mismatch: local {" +
                        local_fp.shapeString() + "} vs garbler {" +
                        remote_fp.shapeString() + "}");
 
-    // Send OT choice bits.
-    std::vector<uint8_t> choices(netlist.numEvaluatorInputs);
-    for (uint32_t i = 0; i < netlist.numEvaluatorInputs; ++i)
-        choices[i] = evaluator_bits[i] ? 1 : 0;
-    if (!choices.empty())
-        chan.sendBytes(choices.data(), choices.size());
-    chan.flush();
-    res.controlBytes += choices.size();
-
-    // Garbler input labels.
-    std::vector<Label> inputs(netlist.numInputs());
-    size_t base = chan.bytesReceived();
-    for (uint32_t i = 0; i < netlist.numGarblerInputs; ++i)
-        inputs[i] = chan.recvLabel();
-    res.inputLabelBytes = chan.bytesReceived() - base;
-
-    // Own inputs via OT + the public constant.
-    base = chan.bytesReceived();
     const uint32_t eval_base = netlist.numGarblerInputs;
-    OtReceiver ot(chan, remote_fp.otSeed);
-    for (uint32_t i = 0; i < netlist.numEvaluatorInputs; ++i)
-        inputs[eval_base + i] = ot.receive(evaluator_bits[i]);
-    if (netlist.constOne != kNoWire)
-        inputs[netlist.constOne] = chan.recvLabel();
-    res.otBytes = chan.bytesReceived() - base;
+    const uint32_t m = netlist.numEvaluatorInputs;
+    std::vector<Label> inputs(netlist.numInputs());
+
+    if (remote_fp.otMode == OtMode::Iknp) {
+        // --- Real OT phase, mirroring the garbler. ---
+        const size_t uplink_base = chan.bytesSent();
+        size_t base = chan.bytesReceived();
+        if (m > 0) {
+            OtExtReceiver ot(chan, chan, otRandomKey());
+            ot.start();
+            ot.setup();
+            ot.sendChoices(evaluator_bits);
+            const std::vector<Label> labels = ot.receiveLabels();
+            for (uint32_t i = 0; i < m; ++i)
+                inputs[eval_base + i] = labels[i];
+        }
+        if (netlist.constOne != kNoWire)
+            inputs[netlist.constOne] = chan.recvLabel();
+        res.otBytes = chan.bytesReceived() - base;
+        res.otUplinkBytes = chan.bytesSent() - uplink_base;
+
+        // Garbler input labels.
+        base = chan.bytesReceived();
+        for (uint32_t i = 0; i < netlist.numGarblerInputs; ++i)
+            inputs[i] = chan.recvLabel();
+        res.inputLabelBytes = chan.bytesReceived() - base;
+    } else {
+        // Send OT choice bits.
+        std::vector<uint8_t> choices(m);
+        for (uint32_t i = 0; i < m; ++i)
+            choices[i] = evaluator_bits[i] ? 1 : 0;
+        if (!choices.empty())
+            chan.sendBytes(choices.data(), choices.size());
+        chan.flush();
+        res.controlBytes += choices.size();
+
+        // Garbler input labels.
+        size_t base = chan.bytesReceived();
+        for (uint32_t i = 0; i < netlist.numGarblerInputs; ++i)
+            inputs[i] = chan.recvLabel();
+        res.inputLabelBytes = chan.bytesReceived() - base;
+
+        // Own inputs via simulated OT + the public constant.
+        base = chan.bytesReceived();
+        OtReceiver ot(chan, remote_fp.otSeed);
+        for (uint32_t i = 0; i < m; ++i)
+            inputs[eval_base + i] = ot.receive(evaluator_bits[i]);
+        if (netlist.constOne != kNoWire)
+            inputs[netlist.constOne] = chan.recvLabel();
+        res.otBytes = chan.bytesReceived() - base;
+    }
 
     // Evaluate, pulling tables from the stream as they arrive.
-    base = chan.bytesReceived();
+    size_t base = chan.bytesReceived();
     const uint64_t frames_before = transport.framesReceived();
     std::vector<Label> out_labels = evaluateStreaming(
         netlist, inputs, [&] { return chan.recvTable(); });

@@ -3,22 +3,25 @@
  * The two-machine GC protocol: one side of runProtocol() per process.
  *
  * Both parties hold the same Netlist (the circuit is public; a
- * 36-byte fingerprint exchanged up front catches disagreement before
- * any label moves). The garbler then streams — input labels, OT
- * messages, garbled tables in segments, decode bits — while the
- * evaluator consumes tables the moment they arrive via the
- * gc/streaming machinery, so neither side ever materializes the
- * table vector: memory stays O(wires) while communication is
+ * 37-byte fingerprint exchanged up front catches disagreement before
+ * any label moves and carries the garbler's OT mode). The protocol
+ * then runs the OT phase — real base-OT + IKNP extension by default
+ * (gc/ot_ext.h), the deterministic simulation under
+ * OtMode::Simulated — after which the garbler streams input labels,
+ * garbled tables in segments, and decode bits, while the evaluator
+ * consumes tables the moment they arrive via the gc/streaming
+ * machinery: memory stays O(wires) while communication is
  * O(AND gates).
  *
  * Byte accounting matches the in-process ProtocolResult *exactly*,
- * category by category (tables, input labels, OT, output decode):
- * the categories count protocol payload in the garbler→evaluator
- * direction, measured identically by both sides. The evaluator's
- * uplink (OT choice bits, the result echo that lets the garbler
- * learn the output too) and the circuit fingerprint are control
- * traffic, reported separately — the in-process baseline has no
- * analogue for them.
+ * category by category (tables, input labels, OT down- and uplink,
+ * output decode): the four downlink categories count protocol payload
+ * in the garbler→evaluator direction, otUplinkBytes the real OT's
+ * evaluator→garbler traffic, all measured identically by both sides.
+ * The circuit fingerprint, the simulation's plaintext choice bits,
+ * and the result echo that lets the garbler learn the output too are
+ * control traffic, reported separately — the in-process baseline has
+ * no analogue for them.
  */
 #ifndef HAAC_NET_REMOTE_H
 #define HAAC_NET_REMOTE_H
@@ -27,6 +30,7 @@
 #include <vector>
 
 #include "circuit/netlist.h"
+#include "gc/ot.h"
 #include "net/transport.h"
 
 namespace haac {
@@ -35,6 +39,13 @@ struct RemoteOptions
 {
     /** Garbled tables per streamed segment frame (>= 1). */
     uint32_t segmentTables = 1024;
+    /**
+     * OT construction for the evaluator's input labels. The garbler's
+     * setting governs (carried to the evaluator in the fingerprint,
+     * like segmentTables); real IKNP OT is the default, the
+     * simulation stays selectable for deterministic traffic tests.
+     */
+    OtMode otMode = OtMode::Iknp;
 };
 
 /** One party's view of a completed remote execution. */
@@ -53,7 +64,16 @@ struct RemoteResult
     uint64_t totalBytes = 0;
     /// @}
 
-    /** Fingerprint + choice bits + result echo (both directions). */
+    /**
+     * Evaluator→garbler OT traffic (base-OT public key + masked
+     * columns); zero under the simulation, whose only uplink is the
+     * plaintext choice bits counted as control traffic.
+     */
+    uint64_t otUplinkBytes = 0;
+    /** OT construction this session actually ran (garbler's pick). */
+    OtMode otMode = OtMode::Iknp;
+
+    /** Fingerprint + sim-OT choice bits + result echo (both ways). */
     uint64_t controlBytes = 0;
     /** Frames the table stream used (one per segment). */
     uint64_t tableSegments = 0;

@@ -85,6 +85,7 @@ makeRemoteReport(const RemoteResult &result, Role role,
     report.comm.tableBytes = result.tableBytes;
     report.comm.inputLabelBytes = result.inputLabelBytes;
     report.comm.otBytes = result.otBytes;
+    report.comm.otUplinkBytes = result.otUplinkBytes;
     report.comm.outputDecodeBytes = result.outputDecodeBytes;
     report.comm.totalBytes = result.totalBytes;
     report.hasComm = true;
@@ -95,6 +96,7 @@ makeRemoteReport(const RemoteResult &result, Role role,
     report.net.controlBytes = result.controlBytes;
     report.net.tableSegments = result.tableSegments;
     report.net.segmentTables = result.segmentTables;
+    report.net.otMode = result.otMode;
     report.net.gates = result.gates;
     report.net.gatesPerSecond = result.gatesPerSecond();
     report.hasNet = true;
@@ -262,6 +264,7 @@ GcServer::serveOne(Transport &transport, uint64_t session_id)
 
     RemoteOptions ropts;
     ropts.segmentTables = opts_.segmentTables;
+    ropts.otMode = opts_.otMode;
     const Role server_role = client == PeerRole::Garbler
                                  ? Role::Evaluator
                                  : Role::Garbler;

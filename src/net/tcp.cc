@@ -4,9 +4,11 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <thread>
@@ -96,6 +98,13 @@ TcpTransport::connect(const std::string &host, uint16_t port,
     using Clock = std::chrono::steady_clock;
     const auto deadline =
         Clock::now() + std::chrono::milliseconds(opts.connectTimeoutMs);
+    auto remaining_ms = [&]() -> long {
+        const auto left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - Clock::now())
+                .count();
+        return left > 0 ? left : 0;
+    };
     std::string last_error = "no addresses";
     do {
         for (addrinfo *ai = res.list; ai; ai = ai->ai_next) {
@@ -105,13 +114,42 @@ TcpTransport::connect(const std::string &host, uint16_t port,
                 last_error = std::strerror(errno);
                 continue;
             }
-            if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+            // Non-blocking connect + poll, so a filtered host (SYNs
+            // silently dropped) cannot hang past the deadline — the
+            // kernel's own SYN retry cycle runs minutes.
+            const int flags = ::fcntl(fd, F_GETFL, 0);
+            ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+            bool connected =
+                ::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0;
+            if (!connected && errno == EINPROGRESS) {
+                pollfd pfd{};
+                pfd.fd = fd;
+                pfd.events = POLLOUT;
+                const long wait = remaining_ms();
+                if (::poll(&pfd, 1, int(wait > 0 ? wait : 1)) > 0) {
+                    int err = 0;
+                    socklen_t len = sizeof(err);
+                    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+                    if (err == 0)
+                        connected = true;
+                    else
+                        last_error = std::strerror(err);
+                } else {
+                    last_error = "connect timed out";
+                }
+            } else if (!connected) {
+                last_error = std::strerror(errno);
+            }
+            if (connected) {
+                ::fcntl(fd, F_SETFL, flags); // back to blocking I/O
                 return std::unique_ptr<TcpTransport>(new TcpTransport(
                     fd, endpointString(ai->ai_addr, ai->ai_addrlen),
                     opts));
-            last_error = std::strerror(errno);
+            }
             ::close(fd);
         }
+        if (remaining_ms() == 0)
+            break;
         // The peer may simply not be listening yet (two-terminal
         // launches race); retry until the connect deadline.
         std::this_thread::sleep_for(std::chrono::milliseconds(50));

@@ -6,8 +6,12 @@
  * and Nagle disabled by default — the remote protocol has two strict
  * turnaround points (choice bits up, result echo back) where a
  * delayed ACK + Nagle interaction would otherwise stall every
- * session by ~40 ms. connect() retries until its deadline so the
- * two-terminal demos don't depend on launch order.
+ * session by ~40 ms. connect() is non-blocking under the hood with a
+ * poll() bounded by the remaining deadline — a filtered host that
+ * swallows SYNs fails by connectTimeoutMs, not the kernel's
+ * minutes-long retransmission ceiling — and retries refused
+ * connections until that deadline so the two-terminal demos don't
+ * depend on launch order.
  */
 #ifndef HAAC_NET_TCP_H
 #define HAAC_NET_TCP_H

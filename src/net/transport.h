@@ -53,8 +53,13 @@ const char *peerRoleName(PeerRole role);
 class Transport
 {
   public:
-    /** Protocol version spoken by this build (hello.version). */
-    static constexpr uint16_t kVersion = 1;
+    /**
+     * Protocol version spoken by this build (hello.version).
+     * v2: 37-byte fingerprint (otMode byte) + the real-OT phase —
+     * mixed-version peers must fail the handshake, not desync
+     * mid-stream.
+     */
+    static constexpr uint16_t kVersion = 2;
     /** Refuse frames larger than this (corrupt/hostile length prefix). */
     static constexpr uint32_t kMaxFrameBytes = 1u << 30;
 

@@ -1,13 +1,19 @@
 /**
  * @file
  * Unit tests for the crypto substrate: AES-128 against FIPS-197
- * vectors, label algebra, PRG determinism, and the Half-Gate hashes.
+ * vectors, label algebra, PRG determinism, the Half-Gate hashes, and
+ * the base-OT group arithmetic (Curve25519) plus the OT-extension
+ * bit transpose.
  */
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <set>
+#include <vector>
 
 #include "crypto/aes128.h"
+#include "crypto/bitmatrix.h"
+#include "crypto/curve25519.h"
 #include "crypto/hash.h"
 #include "crypto/label.h"
 #include "crypto/prg.h"
@@ -178,6 +184,138 @@ TEST(HalfGateHash, FixedKeyDiffersFromRekeyed)
     EXPECT_NE(fixed(x, 3), hashRekeyed(x, 3));
     EXPECT_EQ(fixed(x, 3), fixed(x, 3));
     EXPECT_NE(fixed(x, 3), fixed(x, 4));
+}
+
+// ---------------------------------------------------------------------------
+// Curve25519 (the base-OT group)
+// ---------------------------------------------------------------------------
+
+std::string
+pointHex(const ec::Point &p)
+{
+    uint8_t bytes[ec::kPointBytes];
+    p.toBytes(bytes);
+    static const char digits[] = "0123456789abcdef";
+    std::string s;
+    for (uint8_t b : bytes) {
+        s += digits[b >> 4];
+        s += digits[b & 0xf];
+    }
+    return s;
+}
+
+TEST(Curve25519, BasePointCompressesToRfc8032Encoding)
+{
+    // The canonical Ed25519 base point: y = 4/5 mod p, x even.
+    EXPECT_EQ(pointHex(ec::Point::base()),
+              "58666666666666666666666666666666"
+              "66666666666666666666666666666666");
+}
+
+TEST(Curve25519, GroupOrderAnnihilatesTheBasePoint)
+{
+    // ell = 2^252 + 27742317777372353535851937790883648493,
+    // little-endian.
+    const uint8_t ell[32] = {0xed, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12,
+                             0x58, 0xd6, 0x9c, 0xf7, 0xa2, 0xde, 0xf9,
+                             0xde, 0x14, 0x00, 0x00, 0x00, 0x00, 0x00,
+                             0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                             0x00, 0x00, 0x00, 0x10};
+    ec::Scalar s;
+    std::memcpy(s.bytes, ell, sizeof(ell));
+    EXPECT_TRUE(ec::Point::mul(s, ec::Point::base()).isIdentity());
+}
+
+TEST(Curve25519, DiffieHellmanAgrees)
+{
+    Prg rng(0xec25519);
+    for (int round = 0; round < 4; ++round) {
+        const ec::Scalar a = ec::randomScalar(rng);
+        const ec::Scalar b = ec::randomScalar(rng);
+        const ec::Point aG = ec::Point::mul(a, ec::Point::base());
+        const ec::Point bG = ec::Point::mul(b, ec::Point::base());
+        EXPECT_TRUE(ec::Point::mul(b, aG).equals(ec::Point::mul(a, bG)));
+        EXPECT_FALSE(aG.equals(bG));
+    }
+}
+
+TEST(Curve25519, CompressDecompressRoundtrips)
+{
+    Prg rng(77);
+    for (int round = 0; round < 8; ++round) {
+        const ec::Scalar k = ec::randomScalar(rng);
+        const ec::Point p = ec::Point::mul(k, ec::Point::base());
+        uint8_t bytes[ec::kPointBytes];
+        p.toBytes(bytes);
+        ec::Point q;
+        ASSERT_TRUE(ec::Point::fromBytes(bytes, q));
+        EXPECT_TRUE(q.equals(p));
+    }
+}
+
+TEST(Curve25519, AddSubCancel)
+{
+    Prg rng(5);
+    const ec::Point p =
+        ec::Point::mul(ec::randomScalar(rng), ec::Point::base());
+    const ec::Point q =
+        ec::Point::mul(ec::randomScalar(rng), ec::Point::base());
+    EXPECT_TRUE(p.add(q).sub(q).equals(p));
+    EXPECT_TRUE(p.sub(p).isIdentity());
+    EXPECT_TRUE(p.add(ec::Point()).equals(p));
+    EXPECT_TRUE(p.dbl().equals(p.add(p)));
+}
+
+TEST(Curve25519, RejectsNonCurveEncodings)
+{
+    // y = 2 gives a non-square x^2 candidate on this curve.
+    uint8_t bad[ec::kPointBytes] = {2};
+    ec::Point p;
+    EXPECT_FALSE(ec::Point::fromBytes(bad, p));
+}
+
+// ---------------------------------------------------------------------------
+// Bit-matrix transpose (the OT-extension pivot)
+// ---------------------------------------------------------------------------
+
+TEST(BitMatrix, Transpose64MatchesNaive)
+{
+    Prg rng(41);
+    uint64_t m[64], orig[64];
+    for (auto &w : m)
+        w = rng.nextU64();
+    std::memcpy(orig, m, sizeof(m));
+    transpose64(m);
+    for (int r = 0; r < 64; ++r)
+        for (int c = 0; c < 64; ++c)
+            ASSERT_EQ((m[r] >> c) & 1, (orig[c] >> r) & 1)
+                << "r=" << r << " c=" << c;
+}
+
+TEST(BitMatrix, Transpose128BlockMatchesNaive)
+{
+    // Two blocks with a deliberately non-contiguous column stride.
+    constexpr size_t kBlocks = 2;
+    constexpr size_t kStride = kBlocks * kLabelBytes + 3;
+    Prg rng(42);
+    std::vector<uint8_t> cols(128 * kStride);
+    rng.nextBytes(cols.data(), cols.size());
+
+    for (size_t b = 0; b < kBlocks; ++b) {
+        Label rows[128];
+        transpose128Block(cols.data() + b * kLabelBytes, kStride, rows);
+        for (int r = 0; r < 128; ++r) {
+            for (int c = 0; c < 128; ++c) {
+                const size_t bit = b * 128 + r;
+                const uint8_t byte =
+                    cols[size_t(c) * kStride + bit / 8];
+                const int expected = (byte >> (bit % 8)) & 1;
+                const uint64_t word = c < 64 ? rows[r].lo : rows[r].hi;
+                ASSERT_EQ((word >> (c % 64)) & 1, uint64_t(expected))
+                    << "b=" << b << " r=" << r << " c=" << c;
+            }
+        }
+    }
 }
 
 } // namespace

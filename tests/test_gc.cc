@@ -190,16 +190,35 @@ TEST(Protocol, TrafficAccounting)
     cb.addOutputs(mulBits(cb, a, b, 8));
     Netlist nl = cb.build();
 
-    ProtocolResult res =
-        runProtocol(nl, u64ToBits(7, 8), u64ToBits(9, 8));
+    // Simulated OT: two masked labels per evaluator bit + const-one
+    // label, and no uplink at all.
+    ProtocolResult res = runProtocol(nl, u64ToBits(7, 8),
+                                     u64ToBits(9, 8), 0x4841414331ull,
+                                     OtMode::Simulated);
     EXPECT_EQ(bitsToU64(res.outputs), 63u);
     EXPECT_EQ(res.tableBytes, nl.numAndGates() * kTableBytes);
     EXPECT_EQ(res.inputLabelBytes, 8 * kLabelBytes);
-    // OT: two masked labels per evaluator bit + const-one label.
     EXPECT_EQ(res.otBytes, 8 * 2 * kLabelBytes + kLabelBytes);
+    EXPECT_EQ(res.otUplinkBytes, 0u);
     EXPECT_EQ(res.totalBytes,
               res.tableBytes + res.inputLabelBytes + res.otBytes +
                   res.outputDecodeBytes);
+
+    // Real OT (the default): the downlink carries the 128 base-OT
+    // points plus one masked label pair per evaluator bit plus the
+    // const-one label; the uplink carries the base-OT public key
+    // plus 128 masked columns of one 16-byte block each.
+    ProtocolResult real = runProtocol(nl, u64ToBits(7, 8),
+                                      u64ToBits(9, 8));
+    EXPECT_EQ(bitsToU64(real.outputs), 63u);
+    EXPECT_EQ(real.tableBytes, res.tableBytes);
+    EXPECT_EQ(real.inputLabelBytes, res.inputLabelBytes);
+    EXPECT_EQ(real.otBytes,
+              128 * 32 + 8 * 2 * kLabelBytes + kLabelBytes);
+    EXPECT_EQ(real.otUplinkBytes, 32u + 128 * kLabelBytes);
+    EXPECT_EQ(real.totalBytes,
+              real.tableBytes + real.inputLabelBytes + real.otBytes +
+                  real.outputDecodeBytes);
 }
 
 TEST(Protocol, RejectsWrongInputCounts)

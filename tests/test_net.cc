@@ -19,6 +19,7 @@
 #include "api/session.h"
 #include "circuit/builder.h"
 #include "circuit/stdlib.h"
+#include "gc/base_ot.h"
 #include "gc/garbler.h"
 #include "gc/protocol.h"
 #include "gc/streaming.h"
@@ -27,6 +28,7 @@
 #include "net/remote.h"
 #include "net/tcp.h"
 #include "workloads/priorwork.h"
+#include "workloads/vip.h"
 
 using namespace haac;
 
@@ -76,11 +78,12 @@ adderCircuit(uint32_t bits)
 std::pair<RemoteResult, RemoteResult>
 runRemotePair(const Netlist &nl, const std::vector<bool> &gbits,
               const std::vector<bool> &ebits, uint64_t seed,
-              uint32_t segment_tables)
+              uint32_t segment_tables, OtMode ot_mode = OtMode::Iknp)
 {
     auto [gend, eend] = LoopbackTransport::createPair();
     RemoteOptions opts;
     opts.segmentTables = segment_tables;
+    opts.otMode = ot_mode;
     RemoteResult gres, eres;
     PeerThread garbler([&, t = std::move(gend)] {
         t->handshake(PeerRole::Garbler);
@@ -95,19 +98,23 @@ runRemotePair(const Netlist &nl, const std::vector<bool> &gbits,
 void
 expectMatchesProtocol(const Netlist &nl, const std::vector<bool> &gbits,
                       const std::vector<bool> &ebits, uint64_t seed,
-                      uint32_t segment_tables)
+                      uint32_t segment_tables,
+                      OtMode ot_mode = OtMode::Iknp)
 {
-    const ProtocolResult ref = runProtocol(nl, gbits, ebits, seed);
-    auto [gres, eres] =
-        runRemotePair(nl, gbits, ebits, seed, segment_tables);
+    const ProtocolResult ref =
+        runProtocol(nl, gbits, ebits, seed, ot_mode);
+    auto [gres, eres] = runRemotePair(nl, gbits, ebits, seed,
+                                      segment_tables, ot_mode);
 
     for (const RemoteResult *r : {&gres, &eres}) {
         EXPECT_EQ(r->outputs, ref.outputs);
         EXPECT_EQ(r->tableBytes, ref.tableBytes);
         EXPECT_EQ(r->inputLabelBytes, ref.inputLabelBytes);
         EXPECT_EQ(r->otBytes, ref.otBytes);
+        EXPECT_EQ(r->otUplinkBytes, ref.otUplinkBytes);
         EXPECT_EQ(r->outputDecodeBytes, ref.outputDecodeBytes);
         EXPECT_EQ(r->totalBytes, ref.totalBytes);
+        EXPECT_EQ(r->otMode, ot_mode);
     }
     EXPECT_EQ(gres.tableSegments, eres.tableSegments);
 }
@@ -505,6 +512,159 @@ TEST(Remote, WrongInputCountThrows)
                  std::invalid_argument);
 }
 
+TEST(Remote, SimOtModeMatchesProtocolExactly)
+{
+    // The fixed simulation stays selectable and still pins the
+    // in-process accounting category-exact.
+    const Workload wl = makeMillionaire(24);
+    expectMatchesProtocol(wl.netlist, wl.garblerBits, wl.evaluatorBits,
+                          21, 64, OtMode::Simulated);
+}
+
+TEST(Remote, AllVipWorkloadsBitIdenticalUnderRealOt)
+{
+    // The acceptance invariant: remote-gc over loopback with real OT
+    // is bit-identical to in-process software-gc on every VIP
+    // workload, with category-exact byte accounting.
+    for (const std::string &name : vipNames()) {
+        SCOPED_TRACE(name);
+        const Workload wl = vipWorkload(name, false);
+        expectMatchesProtocol(wl.netlist, wl.garblerBits,
+                              wl.evaluatorBits, 0x4841414331ull, 1024,
+                              OtMode::Iknp);
+    }
+}
+
+namespace {
+
+/**
+ * What a hand-rolled sim-OT evaluator observes on the wire: the
+ * fingerprint's shared OT seed plus the two OT ciphertexts for one
+ * choice-0 transfer over a 1-gate XOR circuit.
+ */
+struct SimOtWireView
+{
+    uint64_t otSeed = 0;
+    Label c0, c1;
+};
+
+SimOtWireView
+runSimOtGarblerAgainstRawEvaluator(const Netlist &nl, uint64_t seed)
+{
+    auto [gend, eend] = LoopbackTransport::createPair();
+    RemoteOptions opts;
+    opts.otMode = OtMode::Simulated;
+    PeerThread garbler([&, t = std::move(gend)] {
+        t->handshake(PeerRole::Garbler);
+        runRemoteGarbler(nl, {true}, *t, seed, opts);
+    });
+
+    eend->handshake(PeerRole::Evaluator);
+    NetChannel chan(*eend, 256);
+    SimOtWireView view;
+    // Fingerprint layout (remote.cc): six u32 shape fields, then the
+    // u64 sim-OT pad seed at offset 24, segmentTables, otMode byte.
+    uint8_t fp[37];
+    chan.recvBytes(fp, sizeof(fp));
+    for (int i = 0; i < 8; ++i)
+        view.otSeed |= uint64_t(fp[24 + i]) << (8 * i);
+    EXPECT_EQ(fp[36], 0) << "otMode byte should say sim-ot";
+
+    const uint8_t choice = 0;
+    chan.sendBytes(&choice, 1);
+    chan.recvLabel(); // garbler's input label
+    view.c0 = chan.recvLabel();
+    view.c1 = chan.recvLabel();
+    chan.recvBit(); // decode bit (no tables: XOR-only circuit)
+    chan.sendBit(false); // result echo, so the garbler completes
+    chan.flush();
+    garbler.join();
+    return view;
+}
+
+/** Inverse of the splitmix64 finalizer (public constants). */
+uint64_t
+splitmix64Inverse(uint64_t z)
+{
+    z = z ^ (z >> 31) ^ (z >> 62);
+    z *= 0x319642b2d24d8ec3ull;
+    z = z ^ (z >> 27) ^ (z >> 54);
+    z *= 0x96de1b173f119089ull;
+    z = z ^ (z >> 30) ^ (z >> 60);
+    return z - 0x9e3779b97f4a7c15ull;
+}
+
+} // namespace
+
+TEST(Remote, SimOtSeedIsFreshAndBurnSeedUnrecoverable)
+{
+    // Regression for the simulated-OT seed leak: the wire used to
+    // carry otSeedFrom(seed) — an invertible mix of the garbling
+    // seed — so an evaluator could invert it, derive the burn seed
+    // otSeedFrom(~seed), and unmask the non-chosen label.
+    CircuitBuilder cb;
+    const Wire a = cb.garblerInput();
+    const Wire b = cb.evaluatorInput();
+    cb.addOutput(cb.xorGate(a, b));
+    const Netlist nl = cb.build();
+
+    const uint64_t seed = 0x5eedf00d;
+    const SimOtWireView run1 =
+        runSimOtGarblerAgainstRawEvaluator(nl, seed);
+    const SimOtWireView run2 =
+        runSimOtGarblerAgainstRawEvaluator(nl, seed);
+
+    // Fresh randomness: same garbling seed, different wire seeds —
+    // the shared pad seed is not a function of the garbling seed.
+    EXPECT_NE(run1.otSeed, run2.otSeed);
+
+    // The hand-rolled evaluator's view is coherent: its chosen
+    // ciphertext unmasks with the wire seed's pad stream.
+    StreamingGarbler garbler(nl, seed);
+    const Label m0 = garbler.activeLabel(1, false);
+    const Label m1 = garbler.activeLabel(1, true);
+    Prg pads(run1.otSeed);
+    const Label pad0 = pads.nextLabel();
+    const Label pad1 = pads.nextLabel();
+    EXPECT_EQ(run1.c0 ^ pad0, m0);
+
+    // The old attack, replayed against the fixed protocol: invert the
+    // wire seed's finalizer to a garbling-seed guess, derive the old
+    // burn stream, unmask. Every step must now come up empty.
+    const uint64_t seed_guess = splitmix64Inverse(run1.otSeed);
+    EXPECT_NE(seed_guess, seed);
+    Prg old_burn(splitmix64(~seed_guess));
+    EXPECT_NE(run1.c1 ^ pad1 ^ old_burn.nextLabel(), m1);
+    // Nor does the burn stream of the true seed's old derivation
+    // leak through the fresh wire seed.
+    Prg true_old_burn(splitmix64(~seed));
+    EXPECT_NE(run1.c1 ^ pad1 ^ true_old_burn.nextLabel(), m1);
+}
+
+TEST(Remote, TamperedBaseOtKeyFailsTheGarbler)
+{
+    // A corrupted base-OT public key must fail the session loudly.
+    const Netlist nl = adderCircuit(4);
+    auto [gend, eend] = LoopbackTransport::createPair();
+    PeerThread garbler([&, t = std::move(gend)] {
+        t->handshake(PeerRole::Garbler);
+        EXPECT_THROW(
+            runRemoteGarbler(nl, u64ToBits(3, 4), *t, 1, {}),
+            OtError);
+    });
+    eend->handshake(PeerRole::Evaluator);
+    {
+        NetChannel chan(*eend, 256);
+        uint8_t fp[37];
+        chan.recvBytes(fp, sizeof(fp));
+        uint8_t junk[32] = {2}; // off-curve encoding
+        chan.sendBytes(junk, sizeof(junk));
+        chan.flush();
+    }
+    eend.reset(); // hang up
+    garbler.join();
+}
+
 // ---------------------------------------------------------------------------
 // RemoteGcBackend / Session integration
 // ---------------------------------------------------------------------------
@@ -631,6 +791,38 @@ TEST(Tcp, RemoteMillionairesOverRealSockets)
     EXPECT_EQ(gres.outputs, ref.outputs);
     EXPECT_EQ(eres.totalBytes, ref.totalBytes);
     EXPECT_EQ(gres.totalBytes, ref.totalBytes);
+}
+
+TEST(Tcp, ConnectDeadlineIsBounded)
+{
+    // Grab an ephemeral port, close the listener, then connect to the
+    // now-dead port: every attempt is refused, the retry loop keeps
+    // trying for a not-yet-listening peer, and the deadline must cut
+    // it off close to connectTimeoutMs — never the kernel's
+    // minutes-long ceiling (the filtered-host case rides the same
+    // poll()-bounded path).
+    auto listener = tryListen();
+    if (!listener)
+        GTEST_SKIP() << "TCP sockets unavailable in this sandbox";
+    const uint16_t dead_port = listener->port();
+    listener.reset();
+
+    TcpOptions opts;
+    opts.connectTimeoutMs = 300;
+    const auto start = std::chrono::steady_clock::now();
+    try {
+        auto t = TcpTransport::connect("127.0.0.1", dead_port, opts);
+        // Some sandboxes proxy loopback and accept anything; then
+        // the deadline has nothing to cut off.
+        GTEST_SKIP() << "sandbox accepted a connection to a dead port";
+    } catch (const NetError &) {
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    EXPECT_GE(elapsed, 0.25) << "gave up before the deadline";
+    EXPECT_LT(elapsed, 5.0) << "connect ignored its deadline";
 }
 
 TEST(Tcp, RecvTimesOutWithoutAPeer)

@@ -1,9 +1,14 @@
 /**
  * @file
- * The simulated 1-out-of-2 OT (gc/ot.h): choice-bit correctness, the
+ * Oblivious transfer, both constructions.
+ *
+ * The simulated 1-of-2 OT (gc/ot.h): choice-bit correctness, the
  * label-secrecy invariants the simulation is obligated to preserve,
- * and its exact traffic accounting — now with a second transport
- * (NetChannel over loopback) since OT runs on any ByteChannel.
+ * its exact traffic accounting (these pins are the interface a
+ * drop-in replacement must preserve), and the burn-seed sentinel
+ * regression. The real OT (gc/base_ot.h + gc/ot_ext.h): base-OT key
+ * agreement, IKNP batch correctness at scale, receiver secrecy,
+ * tampered/truncated-stream error paths, and the exact wire shape.
  */
 #include <gtest/gtest.h>
 
@@ -11,8 +16,10 @@
 #include <vector>
 
 #include "crypto/prg.h"
+#include "gc/base_ot.h"
 #include "gc/channel.h"
 #include "gc/ot.h"
+#include "gc/ot_ext.h"
 #include "net/loopback.h"
 #include "net/net_channel.h"
 
@@ -112,6 +119,340 @@ TEST(Ot, ByteAccountingIsTwoLabelsPerTransfer)
         EXPECT_EQ(chan.pending(), 0u);
         EXPECT_EQ(chan.bytesReceived(), size_t(i) * 2 * kLabelBytes);
     }
+}
+
+TEST(Ot, ExplicitZeroPrivateSeedIsHonored)
+{
+    // Regression: private_seed = 0 used to be a sentinel that silently
+    // fell back to the seed-derived default burn stream.
+    Channel with_zero, with_zero2, with_default;
+    const uint64_t seed = 321;
+    OtSender a(with_zero, seed, 0);
+    OtSender b(with_zero2, seed, 0);
+    OtSender c(with_default, seed);
+    Prg prg(17);
+    const Label m0 = prg.nextLabel();
+    const Label m1 = prg.nextLabel();
+    a.send(m0, m1, false);
+    b.send(m0, m1, false);
+    c.send(m0, m1, false);
+    // Same explicit burn seed => identical ciphertexts; the default
+    // burn stream must be something else entirely.
+    EXPECT_EQ(with_zero.recvLabel(), with_zero2.recvLabel());
+    const Label az = with_zero.recvLabel();
+    with_zero2.recvLabel();
+    with_default.recvLabel();
+    EXPECT_NE(az, with_default.recvLabel());
+}
+
+TEST(Ot, DefaultBurnSeedDoesNotCollapseForAllOnesSeed)
+{
+    // Regression: ~seed * k collapses to 0 when seed == ~0, making the
+    // burn stream the fixed Prg(0) — which a receiver could replay.
+    const uint64_t seed = ~uint64_t(0);
+    EXPECT_NE(OtSender::defaultBurnSeed(seed), 0u);
+
+    Channel chan;
+    OtSender sender(chan, seed);
+    Prg prg(23);
+    const Label m0 = prg.nextLabel();
+    const Label m1 = prg.nextLabel();
+    sender.send(m0, m1, false);
+
+    Prg pads(seed);
+    pads.nextLabel(); // pad0
+    const Label pad1 = pads.nextLabel();
+    chan.recvLabel();
+    const Label c1 = chan.recvLabel();
+    // The old degenerate burn: Prg(0)'s first label.
+    Prg degenerate(0);
+    EXPECT_NE(c1 ^ pad1 ^ degenerate.nextLabel(), m1);
+}
+
+// ---------------------------------------------------------------------------
+// Base OT (Chou-Orlandi over Curve25519)
+// ---------------------------------------------------------------------------
+
+TEST(BaseOt, SenderAndReceiverAgreeOnChosenKeys)
+{
+    DuplexChannel chan;
+    Prg srng(1001), rrng(2002);
+    BaseOtSender sender(chan.toEvaluator, chan.toGarbler, srng);
+    BaseOtReceiver receiver(chan.toGarbler, chan.toEvaluator, rrng);
+
+    std::vector<bool> choices(16);
+    for (size_t i = 0; i < choices.size(); ++i)
+        choices[i] = (i % 3) == 1;
+
+    sender.start();
+    receiver.run(choices);
+    sender.finish(choices.size());
+
+    for (size_t i = 0; i < choices.size(); ++i) {
+        const Label chosen =
+            choices[i] ? sender.keys1()[i] : sender.keys0()[i];
+        const Label other =
+            choices[i] ? sender.keys0()[i] : sender.keys1()[i];
+        EXPECT_EQ(receiver.keys()[i], chosen) << "i=" << i;
+        EXPECT_NE(receiver.keys()[i], other) << "i=" << i;
+        EXPECT_NE(sender.keys0()[i], sender.keys1()[i]) << "i=" << i;
+    }
+}
+
+TEST(BaseOt, TrafficIsOnePointEachWay)
+{
+    DuplexChannel chan;
+    Prg srng(1), rrng(2);
+    BaseOtSender sender(chan.toEvaluator, chan.toGarbler, srng);
+    BaseOtReceiver receiver(chan.toGarbler, chan.toEvaluator, rrng);
+    sender.start();
+    EXPECT_EQ(chan.toEvaluator.bytesSent(), 32u);
+    receiver.run({true, false, true});
+    EXPECT_EQ(chan.toGarbler.bytesSent(), 3 * 32u);
+    sender.finish(3);
+    EXPECT_EQ(chan.toEvaluator.pending(), 0u);
+    EXPECT_EQ(chan.toGarbler.pending(), 0u);
+}
+
+TEST(BaseOt, RejectsTamperedPublicKey)
+{
+    DuplexChannel chan;
+    Prg rng(3);
+    // 32 bytes that decompress to nothing (y = 2 is off-curve).
+    uint8_t junk[32] = {2};
+    chan.toEvaluator.sendBytes(junk, sizeof(junk));
+    BaseOtReceiver receiver(chan.toGarbler, chan.toEvaluator, rng);
+    EXPECT_THROW(receiver.run({true}), OtError);
+}
+
+TEST(BaseOt, RejectsTamperedBlindedPoint)
+{
+    DuplexChannel chan;
+    Prg srng(4);
+    BaseOtSender sender(chan.toEvaluator, chan.toGarbler, srng);
+    sender.start();
+    uint8_t junk[32] = {2};
+    chan.toGarbler.sendBytes(junk, sizeof(junk));
+    EXPECT_THROW(sender.finish(1), OtError);
+}
+
+// ---------------------------------------------------------------------------
+// IKNP OT extension
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Both endpoints over in-process FIFOs, driven in protocol order. */
+struct ExtPair
+{
+    DuplexChannel chan;
+    OtExtSender sender;
+    OtExtReceiver receiver;
+
+    explicit ExtPair(uint64_t seed_tag = 0)
+        : sender(chan.toEvaluator, chan.toGarbler, 900 + seed_tag),
+          receiver(chan.toGarbler, chan.toEvaluator, 800 + seed_tag)
+    {
+        receiver.start();
+        sender.setup();
+        receiver.setup();
+    }
+
+    /** One full batch: returns the receiver's labels. */
+    std::vector<Label>
+    transfer(const std::vector<Label> &m0, const std::vector<Label> &m1,
+             const std::vector<bool> &choices)
+    {
+        receiver.sendChoices(choices);
+        sender.send(m0, m1);
+        return receiver.receiveLabels();
+    }
+};
+
+} // namespace
+
+TEST(OtExt, LargeBatchTransfersTheChosenLabel)
+{
+    // >= 10k choice bits through one batch (the acceptance scale).
+    constexpr size_t kCount = 10240;
+    ExtPair ot;
+    Prg prg(7);
+    std::vector<Label> m0(kCount), m1(kCount);
+    std::vector<bool> choices(kCount);
+    for (size_t i = 0; i < kCount; ++i) {
+        m0[i] = prg.nextLabel();
+        m1[i] = prg.nextLabel();
+        choices[i] = (i * 7 + i / 13) % 3 == 0;
+    }
+    const std::vector<Label> got = ot.transfer(m0, m1, choices);
+    ASSERT_EQ(got.size(), kCount);
+    for (size_t i = 0; i < kCount; ++i) {
+        ASSERT_EQ(got[i], choices[i] ? m1[i] : m0[i]) << "i=" << i;
+        ASSERT_NE(got[i], choices[i] ? m0[i] : m1[i]) << "i=" << i;
+    }
+}
+
+TEST(OtExt, MultipleBatchesShareOneSetup)
+{
+    ExtPair ot;
+    Prg prg(9);
+    for (int batch = 0; batch < 3; ++batch) {
+        const size_t count = 100 + 50 * size_t(batch);
+        std::vector<Label> m0(count), m1(count);
+        std::vector<bool> choices(count);
+        for (size_t i = 0; i < count; ++i) {
+            m0[i] = prg.nextLabel();
+            m1[i] = prg.nextLabel();
+            choices[i] = ((i + size_t(batch)) % 2) == 0;
+        }
+        const std::vector<Label> got = ot.transfer(m0, m1, choices);
+        for (size_t i = 0; i < count; ++i)
+            ASSERT_EQ(got[i], choices[i] ? m1[i] : m0[i])
+                << "batch=" << batch << " i=" << i;
+    }
+}
+
+TEST(OtExt, WireShapeIsExact)
+{
+    // Base phase: one 32-byte key up, 128 32-byte points down.
+    // Batch of m: 2048 bytes of masked columns per 128-block up,
+    // two 16-byte masked labels per OT down.
+    ExtPair ot;
+    const size_t up_setup = ot.chan.toGarbler.bytesSent();
+    const size_t down_setup = ot.chan.toEvaluator.bytesSent();
+    EXPECT_EQ(up_setup, 32u);
+    EXPECT_EQ(down_setup, 128 * 32u);
+
+    const size_t m = 200; // two 128-blocks
+    Prg prg(11);
+    std::vector<Label> m0(m), m1(m);
+    for (size_t i = 0; i < m; ++i) {
+        m0[i] = prg.nextLabel();
+        m1[i] = prg.nextLabel();
+    }
+    ot.transfer(m0, m1, std::vector<bool>(m, true));
+    EXPECT_EQ(ot.chan.toGarbler.bytesSent() - up_setup, 2 * 2048u);
+    EXPECT_EQ(ot.chan.toEvaluator.bytesSent() - down_setup,
+              m * 2 * kLabelBytes);
+    EXPECT_EQ(ot.chan.toGarbler.pending(), 0u);
+    EXPECT_EQ(ot.chan.toEvaluator.pending(), 0u);
+}
+
+TEST(OtExt, NonChosenCiphertextStaysMasked)
+{
+    // Receiver secrecy, observed at the wire: both downlink
+    // ciphertexts are masked, and the two masks differ per OT — so
+    // knowing the chosen plaintext (and hence the chosen mask) does
+    // not unmask the other ciphertext.
+    const size_t m = 64;
+    ExtPair ot;
+    Prg prg(13);
+    std::vector<Label> m0(m), m1(m);
+    std::vector<bool> choices(m);
+    for (size_t i = 0; i < m; ++i) {
+        m0[i] = prg.nextLabel();
+        m1[i] = prg.nextLabel();
+        choices[i] = i % 2 == 0;
+    }
+    ot.receiver.sendChoices(choices);
+    ot.sender.send(m0, m1);
+
+    // Tap the downlink, then re-inject so the receiver still runs.
+    std::vector<Label> y0(m), y1(m);
+    for (size_t i = 0; i < m; ++i) {
+        y0[i] = ot.chan.toEvaluator.recvLabel();
+        y1[i] = ot.chan.toEvaluator.recvLabel();
+    }
+    for (size_t i = 0; i < m; ++i) {
+        ot.chan.toEvaluator.sendLabel(y0[i]);
+        ot.chan.toEvaluator.sendLabel(y1[i]);
+    }
+    const std::vector<Label> got = ot.receiver.receiveLabels();
+
+    for (size_t i = 0; i < m; ++i) {
+        ASSERT_EQ(got[i], choices[i] ? m1[i] : m0[i]);
+        ASSERT_NE(y0[i], m0[i]) << "unmasked ciphertext, i=" << i;
+        ASSERT_NE(y1[i], m1[i]) << "unmasked ciphertext, i=" << i;
+        // Chosen mask != other mask: recovering the chosen label
+        // does not reveal the other one.
+        ASSERT_NE(y0[i] ^ m0[i], y1[i] ^ m1[i]) << "i=" << i;
+        const Label chosen_mask =
+            choices[i] ? y1[i] ^ m1[i] : y0[i] ^ m0[i];
+        const Label other_ct = choices[i] ? y0[i] : y1[i];
+        const Label other_pt = choices[i] ? m0[i] : m1[i];
+        ASSERT_NE(other_ct ^ chosen_mask, other_pt) << "i=" << i;
+    }
+}
+
+TEST(OtExt, UseBeforeSetupThrows)
+{
+    DuplexChannel chan;
+    OtExtSender sender(chan.toEvaluator, chan.toGarbler, 1);
+    OtExtReceiver receiver(chan.toGarbler, chan.toEvaluator, 2);
+    EXPECT_THROW(sender.send({Label(1, 2)}, {Label(3, 4)}),
+                 std::logic_error);
+    EXPECT_THROW(receiver.sendChoices({true}), std::logic_error);
+    EXPECT_THROW(receiver.receiveLabels(), std::logic_error);
+}
+
+TEST(OtExt, MismatchedMessageVectorsThrow)
+{
+    ExtPair ot;
+    EXPECT_THROW(ot.sender.send({Label(1, 2)}, {}),
+                 std::invalid_argument);
+}
+
+TEST(OtExt, TamperedBaseKeyFailsTheSetup)
+{
+    DuplexChannel chan;
+    OtExtSender sender(chan.toEvaluator, chan.toGarbler, 5);
+    uint8_t junk[32] = {2}; // off-curve encoding
+    chan.toGarbler.sendBytes(junk, sizeof(junk));
+    EXPECT_THROW(sender.setup(), OtError);
+}
+
+TEST(OtExt, TruncatedStreamFailsLoudly)
+{
+    // The peer vanishes mid-protocol: the channel read must surface a
+    // NetError, not hang or fabricate labels.
+    auto [gend, eend] = LoopbackTransport::createPair();
+    NetChannel chan(*eend, 64);
+    OtExtReceiver receiver(chan, chan, 3);
+    receiver.start();
+    gend.reset(); // garbler gone before sending its base points
+    EXPECT_THROW(receiver.setup(), NetError);
+}
+
+TEST(OtExt, RunsOverNetChannelAcrossThreads)
+{
+    const size_t m = 300;
+    Prg prg(15);
+    std::vector<Label> m0(m), m1(m);
+    std::vector<bool> choices(m);
+    for (size_t i = 0; i < m; ++i) {
+        m0[i] = prg.nextLabel();
+        m1[i] = prg.nextLabel();
+        choices[i] = (i % 5) < 2;
+    }
+
+    auto [send_end, recv_end] = LoopbackTransport::createPair();
+    std::thread sender_thread([&, t = std::move(send_end)] {
+        NetChannel chan(*t, 1024);
+        OtExtSender sender(chan, chan, otRandomKey());
+        sender.setup();
+        sender.send(m0, m1);
+    });
+
+    NetChannel chan(*recv_end, 1024);
+    OtExtReceiver receiver(chan, chan, otRandomKey());
+    receiver.start();
+    receiver.setup();
+    receiver.sendChoices(choices);
+    const std::vector<Label> got = receiver.receiveLabels();
+    sender_thread.join();
+
+    for (size_t i = 0; i < m; ++i)
+        ASSERT_EQ(got[i], choices[i] ? m1[i] : m0[i]) << "i=" << i;
 }
 
 TEST(Ot, RunsOverNetChannelAcrossThreads)

@@ -57,6 +57,9 @@ usage(const char *argv0)
         "(default 1024)\n"
         "  --seed N         garbling seed base (session i uses "
         "seed+i)\n"
+        "  --sim-ot         use the simulated OT instead of the real "
+        "IKNP extension\n"
+        "                   (deterministic traffic; see DESIGN.md)\n"
         "  --report-file F  append per-session RunReport JSON lines "
         "to F (default stdout)\n"
         "  --quiet          no per-session report lines\n"
@@ -112,6 +115,8 @@ main(int argc, char **argv)
                 uint32_t(std::strtoul(value(), nullptr, 10));
         else if (arg == "--seed")
             opts.seedBase = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--sim-ot")
+            opts.otMode = OtMode::Simulated;
         else if (arg == "--report-file")
             report_file = value();
         else if (arg == "--quiet")
