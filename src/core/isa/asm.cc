@@ -1,0 +1,676 @@
+#include "core/isa/asm.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "core/isa/disasm.h"
+
+namespace haac {
+
+namespace {
+
+/** Addresses above this would overflow numAddrs() arithmetic. */
+constexpr uint32_t kMaxAddr = 1u << 28;
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string
+upper(std::string s)
+{
+    for (char &c : s)
+        c = char(std::toupper(static_cast<unsigned char>(c)));
+    return s;
+}
+
+/** Cursor over one source line (comment already stripped). */
+struct Scanner
+{
+    const std::string &s;
+    size_t pos = 0;
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t' ||
+                                  s[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    atEnd()
+    {
+        skipWs();
+        return pos >= s.size();
+    }
+
+    bool
+    lit(char c)
+    {
+        skipWs();
+        if (pos < s.size() && s[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    litArrow()
+    {
+        skipWs();
+        if (pos + 1 < s.size() && s[pos] == '-' && s[pos + 1] == '>') {
+            pos += 2;
+            return true;
+        }
+        return false;
+    }
+
+    /** [A-Za-z_][A-Za-z0-9_]* ; empty string when next is not one. */
+    std::string
+    ident()
+    {
+        skipWs();
+        if (pos >= s.size() || !isIdentStart(s[pos]))
+            return "";
+        const size_t start = pos;
+        while (pos < s.size() && isIdentChar(s[pos]))
+            ++pos;
+        return s.substr(start, pos - start);
+    }
+
+    /** Decimal literal with overflow detection. */
+    bool
+    number(uint64_t &out, bool &overflow)
+    {
+        skipWs();
+        overflow = false;
+        if (pos >= s.size() ||
+            !std::isdigit(static_cast<unsigned char>(s[pos])))
+            return false;
+        uint64_t v = 0;
+        while (pos < s.size() &&
+               std::isdigit(static_cast<unsigned char>(s[pos]))) {
+            const uint64_t d = uint64_t(s[pos] - '0');
+            if (v > (~uint64_t(0) - d) / 10)
+                overflow = true;
+            else
+                v = v * 10 + d;
+            ++pos;
+        }
+        out = v;
+        return true;
+    }
+
+    std::string
+    rest()
+    {
+        skipWs();
+        return s.substr(pos);
+    }
+};
+
+/** Is @p tok of the form w<digits>? (The wire-literal spelling.) */
+bool
+isWireToken(const std::string &tok)
+{
+    if (tok.size() < 2 || (tok[0] != 'w' && tok[0] != 'W'))
+        return false;
+    for (size_t i = 1; i < tok.size(); ++i)
+        if (!std::isdigit(static_cast<unsigned char>(tok[i])))
+            return false;
+    return true;
+}
+
+bool
+isOpcodeToken(const std::string &tok)
+{
+    const std::string u = upper(tok);
+    return u == "AND" || u == "XOR" || u == "NOT" || u == "NOP";
+}
+
+struct Parser
+{
+    AsmResult res;
+    uint32_t line = 0;
+
+    bool sawInputs = false;
+    bool sawOutputs = false;
+    uint32_t outputsLine = 0;
+    std::vector<uint32_t> outputLines; // parallel to prog.outputs
+    std::unordered_map<std::string, uint32_t> labels;
+    std::vector<std::pair<std::string, uint32_t>> pendingLabels;
+    uint32_t andCount = 0;
+    bool anyGeHint = false;
+
+    bool
+    fail(const std::string &msg, uint32_t at_line)
+    {
+        res.ok = false;
+        res.errorLine = at_line;
+        res.error = "line " + std::to_string(at_line) + ": " + msg;
+        return false;
+    }
+
+    bool fail(const std::string &msg) { return fail(msg, line); }
+
+    /** Next output address (the implicit rule). */
+    uint32_t
+    nextOut() const
+    {
+        return res.prog.numInputs + 1 +
+               uint32_t(res.prog.instrs.size());
+    }
+
+    bool
+    wireNumber(Scanner &sc, const std::string &tok, uint32_t &addr)
+    {
+        uint64_t v = 0;
+        bool overflow = false;
+        Scanner digits{tok, 1};
+        digits.number(v, overflow);
+        (void)sc;
+        if (overflow || v > kMaxAddr)
+            return fail("wire address out of range: " + tok);
+        addr = uint32_t(v);
+        return true;
+    }
+
+    /** An instruction operand: w<N> or a previously defined label. */
+    bool
+    operand(Scanner &sc, uint32_t &addr)
+    {
+        const std::string tok = sc.ident();
+        if (tok.empty())
+            return fail("expected operand, got '" + sc.rest() + "'");
+        if (upper(tok) == "OORW") {
+            return fail(
+                "the OoRW sentinel cannot appear in program text (the "
+                "stream generator rewrites out-of-window operands)");
+        }
+        if (isWireToken(tok)) {
+            if (!wireNumber(sc, tok, addr))
+                return false;
+            if (addr == kOorAddr)
+                return fail("w0 is the reserved OoRW sentinel");
+            if (addr >= nextOut()) {
+                return fail("operand " + tok +
+                            " is not defined at this point (defined "
+                            "wires are w1..w" +
+                            std::to_string(nextOut() - 1) + ")");
+            }
+            return true;
+        }
+        auto it = labels.find(tok);
+        if (it == labels.end())
+            return fail("undefined label '" + tok + "'");
+        addr = it->second;
+        return true;
+    }
+
+    bool
+    keyEquals(Scanner &sc, const char *key)
+    {
+        const std::string tok = sc.ident();
+        if (tok != key || !sc.lit('='))
+            return fail(std::string("expected ") + key + "=<value>");
+        return true;
+    }
+
+    bool
+    keyNumber(Scanner &sc, const char *key, uint64_t &out)
+    {
+        if (!keyEquals(sc, key))
+            return false;
+        bool overflow = false;
+        if (!sc.number(out, overflow))
+            return fail(std::string("expected a number after ") + key +
+                        "=");
+        if (overflow)
+            return fail(std::string(key) + " value out of range");
+        return true;
+    }
+
+    /** key=<bitstring>, leftmost character = lowest wire index. */
+    bool
+    keyBits(Scanner &sc, const char *key, std::vector<bool> &out)
+    {
+        if (!keyEquals(sc, key))
+            return false;
+        // The value ends at whitespace; it may be empty.
+        while (sc.pos < sc.s.size() && sc.s[sc.pos] != ' ' &&
+               sc.s[sc.pos] != '\t' && sc.s[sc.pos] != '\r') {
+            const char c = sc.s[sc.pos];
+            if (c != '0' && c != '1')
+                return fail(std::string("bad bit character '") + c +
+                            "' in " + key + "=");
+            out.push_back(c == '1');
+            ++sc.pos;
+        }
+        return true;
+    }
+
+    bool
+    directive(Scanner &sc)
+    {
+        const std::string name = sc.ident();
+        if (name == "inputs")
+            return dirInputs(sc);
+        if (name == "const_one")
+            return dirConstOne(sc);
+        if (name == "outputs")
+            return dirOutputs(sc);
+        if (name == "test")
+            return dirTest(sc);
+        return fail("unknown directive '." + name + "'");
+    }
+
+    bool
+    dirInputs(Scanner &sc)
+    {
+        if (sawInputs)
+            return fail("duplicate .inputs directive");
+        if (!res.prog.instrs.empty())
+            return fail(".inputs must precede all instructions");
+        uint64_t total = 0, g = 0, e = 0;
+        bool overflow = false;
+        if (!sc.number(total, overflow) || overflow)
+            return fail("expected .inputs <total> garbler=<G> "
+                        "evaluator=<E>");
+        if (!keyNumber(sc, "garbler", g) ||
+            !keyNumber(sc, "evaluator", e))
+            return false;
+        if (total > kMaxAddr)
+            return fail("input count too large");
+        if (g > total || e > total - g)
+            return fail("garbler + evaluator inputs exceed the total");
+        if (total > g + e + 1) {
+            return fail("total may exceed garbler + evaluator only by "
+                        "the constant-one wire");
+        }
+        if (!sc.atEnd())
+            return fail("trailing junk after .inputs: '" + sc.rest() +
+                        "'");
+        res.prog.numInputs = uint32_t(total);
+        res.prog.numGarblerInputs = uint32_t(g);
+        res.prog.numEvaluatorInputs = uint32_t(e);
+        sawInputs = true;
+        return true;
+    }
+
+    bool
+    dirConstOne(Scanner &sc)
+    {
+        if (!sawInputs)
+            return fail(".const_one requires a preceding .inputs");
+        if (res.prog.constOneAddr != kOorAddr)
+            return fail("duplicate .const_one directive");
+        const std::string tok = sc.ident();
+        if (!isWireToken(tok))
+            return fail("expected .const_one w<N>");
+        uint32_t addr = 0;
+        if (!wireNumber(sc, tok, addr))
+            return false;
+        const uint32_t parties =
+            res.prog.numGarblerInputs + res.prog.numEvaluatorInputs;
+        if (res.prog.numInputs != parties + 1) {
+            return fail(".const_one requires an input slot beyond the "
+                        "party inputs (total == garbler + evaluator + "
+                        "1)");
+        }
+        if (addr != res.prog.numInputs) {
+            return fail("the constant-one wire must be the last input "
+                        "(w" +
+                        std::to_string(res.prog.numInputs) + ")");
+        }
+        if (!sc.atEnd())
+            return fail("trailing junk after .const_one: '" +
+                        sc.rest() + "'");
+        res.prog.constOneAddr = addr;
+        return true;
+    }
+
+    bool
+    dirOutputs(Scanner &sc)
+    {
+        if (sawOutputs)
+            return fail("duplicate .outputs directive");
+        sawOutputs = true;
+        outputsLine = line;
+        while (!sc.atEnd()) {
+            const std::string tok = sc.ident();
+            if (tok.empty())
+                return fail("expected a wire or label in .outputs, "
+                            "got '" +
+                            sc.rest() + "'");
+            uint32_t addr = 0;
+            if (isWireToken(tok)) {
+                if (!wireNumber(sc, tok, addr))
+                    return false;
+                if (addr == kOorAddr)
+                    return fail("w0 cannot be a program output");
+                // Range against numAddrs is checked at end-of-file so
+                // .outputs may legally precede the instructions.
+            } else {
+                auto it = labels.find(tok);
+                if (it == labels.end())
+                    return fail("undefined label '" + tok +
+                                "' in .outputs");
+                addr = it->second;
+            }
+            res.prog.outputs.push_back(addr);
+            outputLines.push_back(line);
+        }
+        return true;
+    }
+
+    bool
+    dirTest(Scanner &sc)
+    {
+        AsmTestVector t;
+        t.line = line;
+        if (!keyBits(sc, "garbler", t.garbler) ||
+            !keyBits(sc, "evaluator", t.evaluator) ||
+            !keyBits(sc, "expect", t.expect))
+            return false;
+        if (!sc.atEnd())
+            return fail("trailing junk after .test: '" + sc.rest() +
+                        "'");
+        res.tests.push_back(std::move(t));
+        return true;
+    }
+
+    bool
+    instruction(Scanner &sc, std::string first)
+    {
+        HaacOp op;
+        const std::string u = upper(first);
+        if (u == "AND")
+            op = HaacOp::And;
+        else if (u == "XOR")
+            op = HaacOp::Xor;
+        else if (u == "NOT")
+            op = HaacOp::Not;
+        else if (u == "NOP")
+            op = HaacOp::Nop;
+        else
+            return fail("unknown opcode '" + first + "'");
+
+        if (!sawInputs)
+            return fail("instructions must follow the .inputs "
+                        "directive");
+        if (uint64_t(res.prog.instrs.size()) + res.prog.numInputs + 1 >=
+            kMaxAddr)
+            return fail("program too large");
+
+        HaacInstruction ins;
+        ins.op = op;
+        ins.live = false;
+        const uint32_t out = nextOut();
+
+        if (!operand(sc, ins.a))
+            return false;
+        const bool two_operands =
+            op == HaacOp::And || op == HaacOp::Xor;
+        if (sc.lit(',')) {
+            if (!two_operands)
+                return fail(std::string(opName(op)) +
+                            " takes one operand");
+            if (!operand(sc, ins.b))
+                return false;
+        } else if (two_operands) {
+            return fail(std::string(opName(op)) +
+                        " takes two operands");
+        } else {
+            ins.b = ins.a; // canonical form for NOT/NOP
+        }
+
+        if (sc.litArrow()) {
+            const std::string tok = sc.ident();
+            if (!isWireToken(tok))
+                return fail("expected w<N> after '->'");
+            uint32_t addr = 0;
+            if (!wireNumber(sc, tok, addr))
+                return false;
+            if (addr != out) {
+                return fail(
+                    "explicit output " + tok +
+                    " disagrees with the implicit address w" +
+                    std::to_string(out) + " of instruction " +
+                    std::to_string(res.prog.instrs.size()));
+            }
+        }
+
+        if (sc.lit('[')) {
+            const std::string tok = sc.ident();
+            if (upper(tok) != "LIVE" || !sc.lit(']'))
+                return fail("expected [live]");
+            ins.live = true;
+        }
+
+        bool explicit_tweak = false;
+        if (sc.lit('(')) {
+            const std::string tok = sc.ident();
+            uint64_t v = 0;
+            bool overflow = false;
+            if (tok != "tweak" || !sc.number(v, overflow))
+                return fail("expected (tweak <N>)");
+            if (overflow || v > ~uint32_t(0))
+                return fail("tweak value out of range");
+            if (!sc.lit(')'))
+                return fail("expected ')' after tweak");
+            if (op != HaacOp::And)
+                return fail("a tweak annotation is only valid on AND");
+            ins.tweak = uint32_t(v);
+            explicit_tweak = true;
+        }
+
+        uint8_t ge_hint = 0;
+        bool has_hint = false;
+        if (sc.lit('@')) {
+            std::string tok = sc.ident();
+            uint64_t v = 0;
+            bool overflow = false;
+            if (tok == "ge") {
+                if (!sc.number(v, overflow))
+                    return fail("expected @ge <N>");
+            } else if (tok.size() > 2 && tok.compare(0, 2, "ge") == 0) {
+                Scanner digits{tok, 2};
+                if (!digits.number(v, overflow) || !digits.atEnd())
+                    return fail("bad @ge annotation '@" + tok + "'");
+            } else {
+                return fail("unknown annotation '@" + tok + "'");
+            }
+            if (overflow || v > 255)
+                return fail("@ge index out of range (0..255)");
+            ge_hint = uint8_t(v);
+            has_hint = true;
+        }
+
+        if (!sc.atEnd())
+            return fail("trailing junk after instruction: '" +
+                        sc.rest() + "'");
+
+        if (op == HaacOp::And && !explicit_tweak)
+            ins.tweak = andCount;
+        if (op == HaacOp::And)
+            ++andCount;
+
+        for (const auto &lbl : pendingLabels)
+            labels.emplace(lbl.first, out);
+        pendingLabels.clear();
+
+        res.prog.instrs.push_back(ins);
+        res.geHints.push_back(ge_hint);
+        anyGeHint = anyGeHint || has_hint;
+        return true;
+    }
+
+    bool
+    statement(Scanner &sc)
+    {
+        // Label prefixes: `<number>:` (instruction-index annotation)
+        // or `<ident>:` (symbolic output label), any number of them.
+        for (;;) {
+            sc.skipWs();
+            const size_t save = sc.pos;
+            uint64_t num = 0;
+            bool overflow = false;
+            if (sc.number(num, overflow)) {
+                if (!sc.lit(':'))
+                    return fail(
+                        "expected ':' after instruction index");
+                if (overflow || num != res.prog.instrs.size()) {
+                    return fail(
+                        "instruction index label " + std::to_string(num) +
+                        " does not match position " +
+                        std::to_string(res.prog.instrs.size()));
+                }
+                continue;
+            }
+            const std::string tok = sc.ident();
+            if (tok.empty()) {
+                sc.pos = save;
+                break;
+            }
+            if (sc.lit(':')) {
+                if (isWireToken(tok) || isOpcodeToken(tok) ||
+                    upper(tok) == "OORW")
+                    return fail("'" + tok +
+                                "' cannot be used as a label");
+                if (labels.count(tok)) {
+                    return fail("duplicate label '" + tok + "'");
+                }
+                for (const auto &p : pendingLabels)
+                    if (p.first == tok)
+                        return fail("duplicate label '" + tok + "'");
+                pendingLabels.emplace_back(tok, line);
+                continue;
+            }
+            // Not a label: this token starts the instruction.
+            return instruction(sc, tok);
+        }
+        if (sc.atEnd())
+            return true; // label-only (or blank) line
+        if (sc.lit('.'))
+            return directive(sc);
+        return fail("cannot parse '" + sc.rest() + "'");
+    }
+
+    bool
+    finish()
+    {
+        const uint32_t eof_line = line + 1;
+        if (!pendingLabels.empty()) {
+            return fail("dangling label '" + pendingLabels[0].first +
+                            "': no instruction follows",
+                        pendingLabels[0].second);
+        }
+        if (!sawInputs)
+            return fail("missing .inputs directive", eof_line);
+        if (!sawOutputs)
+            return fail("missing .outputs directive", eof_line);
+        const uint32_t parties =
+            res.prog.numGarblerInputs + res.prog.numEvaluatorInputs;
+        if (res.prog.numInputs == parties + 1 &&
+            res.prog.constOneAddr == kOorAddr) {
+            return fail("the input count implies a constant-one wire; "
+                        "add .const_one w" +
+                            std::to_string(res.prog.numInputs),
+                        eof_line);
+        }
+        for (size_t i = 0; i < res.prog.outputs.size(); ++i) {
+            if (res.prog.outputs[i] >= res.prog.numAddrs()) {
+                return fail("output w" +
+                                std::to_string(res.prog.outputs[i]) +
+                                " is never defined",
+                            outputLines[i]);
+            }
+        }
+        for (const AsmTestVector &t : res.tests) {
+            if (t.garbler.size() != res.prog.numGarblerInputs)
+                return fail(".test garbler= has " +
+                                std::to_string(t.garbler.size()) +
+                                " bits; the program declares " +
+                                std::to_string(
+                                    res.prog.numGarblerInputs),
+                            t.line);
+            if (t.evaluator.size() != res.prog.numEvaluatorInputs)
+                return fail(".test evaluator= has " +
+                                std::to_string(t.evaluator.size()) +
+                                " bits; the program declares " +
+                                std::to_string(
+                                    res.prog.numEvaluatorInputs),
+                            t.line);
+            if (t.expect.size() != res.prog.outputs.size())
+                return fail(".test expect= has " +
+                                std::to_string(t.expect.size()) +
+                                " bits; the program has " +
+                                std::to_string(
+                                    res.prog.outputs.size()) +
+                                " outputs",
+                            t.line);
+        }
+        const std::string err = res.prog.check();
+        if (!err.empty())
+            return fail("program fails the address discipline: " + err,
+                        eof_line);
+        if (!anyGeHint)
+            res.geHints.clear();
+        res.ok = true;
+        return true;
+    }
+};
+
+} // namespace
+
+AsmResult
+parseAsm(const std::string &text)
+{
+    Parser p;
+    size_t pos = 0;
+    while (pos <= text.size()) {
+        const size_t nl = text.find('\n', pos);
+        const size_t end = nl == std::string::npos ? text.size() : nl;
+        std::string raw = text.substr(pos, end - pos);
+        ++p.line;
+        const size_t comment = raw.find(';');
+        if (comment != std::string::npos)
+            raw.resize(comment);
+        Scanner sc{raw, 0};
+        if (!sc.atEnd() && !p.statement(sc))
+            return p.res;
+        if (nl == std::string::npos)
+            break;
+        pos = nl + 1;
+    }
+    p.finish();
+    return p.res;
+}
+
+AsmResult
+parseAsmFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        AsmResult res;
+        res.error = "cannot open file: " + path;
+        return res;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return parseAsm(ss.str());
+}
+
+} // namespace haac

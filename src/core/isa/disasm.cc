@@ -1,5 +1,6 @@
 #include "core/isa/disasm.h"
 
+#include <algorithm>
 #include <ostream>
 #include <sstream>
 
@@ -50,26 +51,42 @@ toString(const HaacInstruction &ins, uint32_t out_addr)
 }
 
 void
-disassemble(const HaacProgram &prog, std::ostream &os,
-            size_t max_instrs)
+disassemble(const HaacProgram &prog, std::ostream &os, size_t max_instrs,
+            const std::vector<uint8_t> *ge_of)
 {
-    os << "; inputs: w1..w" << prog.numInputs;
+    os << "; haac assembly: " << prog.instrs.size() << " instructions ("
+       << prog.numAnd() << " AND / " << prog.numXor() << " XOR / "
+       << prog.numNot() << " NOT), " << prog.outputs.size()
+       << " outputs\n";
+    os << ".inputs " << prog.numInputs
+       << " garbler=" << prog.numGarblerInputs
+       << " evaluator=" << prog.numEvaluatorInputs << "\n";
     if (prog.constOneAddr != kOorAddr)
-        os << " (w" << prog.constOneAddr << " = const 1)";
-    os << "\n";
+        os << ".const_one w" << prog.constOneAddr << "\n";
     const size_t n = max_instrs == 0
                          ? prog.instrs.size()
                          : std::min(max_instrs, prog.instrs.size());
     for (size_t k = 0; k < n; ++k) {
         os << k << ":\t"
-           << toString(prog.instrs[k], prog.outputAddrOf(k)) << "\n";
+           << toString(prog.instrs[k], prog.outputAddrOf(k));
+        if (ge_of && k < ge_of->size())
+            os << " @ge" << unsigned((*ge_of)[k]);
+        os << "\n";
     }
     if (n < prog.instrs.size())
         os << "; ... " << prog.instrs.size() - n << " more\n";
-    os << "; outputs:";
+    os << ".outputs";
     for (uint32_t o : prog.outputs)
         os << " w" << o;
     os << "\n";
+}
+
+std::string
+toAsm(const HaacProgram &prog)
+{
+    std::ostringstream os;
+    disassemble(prog, os, 0);
+    return os.str();
 }
 
 } // namespace haac

@@ -1,13 +1,21 @@
 /**
  * @file
- * HAAC disassembler: human-readable program listings for debugging
- * compiler passes and stream generation.
+ * HAAC disassembler: textual program listings.
+ *
+ * The full listing (max_instrs == 0) is the *canonical* HAAC assembly
+ * form: every line is either a directive (`.inputs`, `.const_one`,
+ * `.outputs`), an instruction, or a `;` comment, and the output parses
+ * back bit-exactly through core/isa/asm.h — `parseAsm(toAsm(p)) == p`
+ * for every valid program. Truncated listings (max_instrs > 0) are for
+ * human debugging only and elide instructions behind a comment.
  */
 #ifndef HAAC_CORE_ISA_DISASM_H
 #define HAAC_CORE_ISA_DISASM_H
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "core/isa/program.h"
 
@@ -28,10 +36,17 @@ std::string toString(const HaacInstruction &ins,
 /**
  * Disassemble a whole program.
  *
- * @param max_instrs cap on listed instructions (0 = all).
+ * @param max_instrs cap on listed instructions (0 = all; required for
+ *        a parseable listing).
+ * @param ge_of optional per-instruction GE assignment (StreamSet::geOf)
+ *        appended as an `@geN` annotation to each instruction.
  */
 void disassemble(const HaacProgram &prog, std::ostream &os,
-                 size_t max_instrs = 0);
+                 size_t max_instrs = 0,
+                 const std::vector<uint8_t> *ge_of = nullptr);
+
+/** Canonical assembly text: disassemble(prog, os, 0) into a string. */
+std::string toAsm(const HaacProgram &prog);
 
 } // namespace haac
 

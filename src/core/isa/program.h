@@ -62,6 +62,25 @@ struct HaacInstruction
 };
 
 /**
+ * Field-exact equality: the contract behind the assembler round-trip
+ * (`parseAsm(toAsm(prog)) == prog`). Canonical programs keep b == a for
+ * NOT and NOP (the b operand is semantically ignored there, and the
+ * textual form does not spell it).
+ */
+inline bool
+operator==(const HaacInstruction &x, const HaacInstruction &y)
+{
+    return x.op == y.op && x.a == y.a && x.b == y.b &&
+           x.live == y.live && x.tweak == y.tweak;
+}
+
+inline bool
+operator!=(const HaacInstruction &x, const HaacInstruction &y)
+{
+    return !(x == y);
+}
+
+/**
  * A complete HAAC program.
  */
 struct HaacProgram
@@ -91,6 +110,22 @@ struct HaacProgram
     /** Validate the address discipline; empty string when valid. */
     std::string check() const;
 };
+
+inline bool
+operator==(const HaacProgram &x, const HaacProgram &y)
+{
+    return x.numInputs == y.numInputs &&
+           x.numGarblerInputs == y.numGarblerInputs &&
+           x.numEvaluatorInputs == y.numEvaluatorInputs &&
+           x.constOneAddr == y.constOneAddr && x.instrs == y.instrs &&
+           x.outputs == y.outputs;
+}
+
+inline bool
+operator!=(const HaacProgram &x, const HaacProgram &y)
+{
+    return !(x == y);
+}
 
 /**
  * Assemble a canonical netlist into a baseline HAAC program

@@ -81,6 +81,16 @@ class BankTracker
             ++c;
     }
 
+    /** Read-only count for @p cycle (0 if the slot was recycled). */
+    uint8_t
+    peek(uint64_t cycle, uint32_t bank) const
+    {
+        const size_t idx = size_t(cycle % kWindow) * banks_ + bank;
+        return stamp_[idx] == uint32_t(cycle) ? count_[idx] : 0;
+    }
+
+    uint32_t banks() const { return banks_; }
+
   private:
     uint8_t &
     slot(uint64_t cycle, uint32_t bank)
@@ -117,9 +127,10 @@ class Engine
   public:
     Engine(const HaacProgram &prog, const HaacConfig &cfg,
            const StreamSet *streams, SimMode mode, bool global_dispatch,
-           const RemoteWireEnv *remote = nullptr)
+           const RemoteWireEnv *remote = nullptr,
+           SimProbe *probe = nullptr)
         : prog_(prog), cfg_(cfg), streams_(streams), mode_(mode),
-          remote_(remote),
+          remote_(remote), probe_(probe),
           globalDispatch_(global_dispatch),
           modelTraffic_(mode == SimMode::Combined ||
                         mode == SimMode::TrafficOnly),
@@ -153,11 +164,14 @@ class Engine
     void setupQueues();
     void finalizeTrafficStats();
 
+    SimProbeView probeView(uint64_t t);
+
     const HaacProgram &prog_;
     const HaacConfig &cfg_;
     const StreamSet *streams_;
     SimMode mode_;
     const RemoteWireEnv *remote_;
+    SimProbe *probe_;
     bool globalDispatch_;
     bool modelTraffic_;
     bool modelCompute_;
@@ -533,6 +547,44 @@ Engine::finalizeTrafficStats()
     stats_.inputLoadBytes = inputLoad_.totalEntries * kLabelBytes;
 }
 
+SimProbeView
+Engine::probeView(uint64_t t)
+{
+    SimProbeView view;
+    view.cycle = t;
+    view.ges.resize(ges_.size());
+    for (size_t g = 0; g < ges_.size(); ++g) {
+        GeRunState &ge = ges_[g];
+        GeQueueView &v = view.ges[g];
+        auto fill = [&](StreamQueue &q, uint64_t &ready, uint64_t &cap,
+                        uint64_t &consumed, uint64_t &total) {
+            q.drainArrivals(t);
+            ready = q.arrived - q.consumed;
+            cap = q.capacityEntries;
+            consumed = q.consumed;
+            total = q.totalEntries;
+        };
+        fill(ge.instrQ, v.instrReady, v.instrCapacity, v.instrConsumed,
+             v.instrTotal);
+        fill(ge.tableQ, v.tableReady, v.tableCapacity, v.tableConsumed,
+             v.tableTotal);
+        fill(ge.oorQ, v.oorReady, v.oorCapacity, v.oorConsumed,
+             v.oorTotal);
+        if (ge.streams) {
+            v.streamPos = ge.cursor;
+            v.streamLen = ge.streams->instrs.size();
+            if (ge.cursor < ge.streams->instrIdx.size())
+                v.nextInstr = ge.streams->instrIdx[ge.cursor];
+        }
+    }
+    view.bankAccesses.resize(banks_.banks());
+    for (uint32_t b = 0; b < banks_.banks(); ++b)
+        view.bankAccesses[b] = banks_.peek(t, b);
+    view.pendingWriteBytes = scheduledWriteBytes_ - drainedWriteBytes_;
+    view.stats = &stats_;
+    return view;
+}
+
 SimStats
 Engine::run(StreamSet *record)
 {
@@ -605,7 +657,16 @@ Engine::run(StreamSet *record)
                     ++ge.cursor;
                     ++issued_total;
                     any = true;
+                    if (probe_) {
+                        probe_->onIssue(t, g, idx, prog_.instrs[idx],
+                                        prog_.outputAddrOf(idx));
+                    }
                 }
+            }
+            if (probe_) {
+                const SimProbeView view = probeView(t);
+                if (!probe_->onCycle(view))
+                    break; // aborted: return stats so far
             }
             if (!modelTraffic_ && !any && hint != ~uint64_t(0)) {
                 t = std::max(t + 1, hint);
@@ -627,6 +688,17 @@ Engine::run(StreamSet *record)
 }
 
 } // namespace
+
+void
+SimProbe::onIssue(uint64_t, uint32_t, uint32_t,
+                  const HaacInstruction &, uint32_t)
+{}
+
+bool
+SimProbe::onCycle(const SimProbeView &)
+{
+    return true;
+}
 
 StreamSet
 recordSchedule(const HaacProgram &prog, const HaacConfig &cfg)
@@ -664,9 +736,10 @@ recordSchedule(const HaacProgram &prog, const HaacConfig &cfg)
 
 SimStats
 runSimulation(const HaacProgram &prog, const HaacConfig &cfg,
-              const StreamSet &streams, SimMode mode)
+              const StreamSet &streams, SimMode mode, SimProbe *probe)
 {
-    Engine engine(prog, cfg, &streams, mode, /*global_dispatch=*/false);
+    Engine engine(prog, cfg, &streams, mode, /*global_dispatch=*/false,
+                  nullptr, probe);
     return engine.run(nullptr);
 }
 

@@ -41,6 +41,60 @@ enum class SimMode
  */
 StreamSet recordSchedule(const HaacProgram &prog, const HaacConfig &cfg);
 
+/** One GE's streaming-queue occupancy at a probed cycle. */
+struct GeQueueView
+{
+    /** @name Per queue: entries on chip, capacity, consumed, total */
+    /// @{
+    uint64_t instrReady = 0, instrCapacity = 0, instrConsumed = 0,
+             instrTotal = 0;
+    uint64_t tableReady = 0, tableCapacity = 0, tableConsumed = 0,
+             tableTotal = 0;
+    uint64_t oorReady = 0, oorCapacity = 0, oorConsumed = 0,
+             oorTotal = 0;
+    /// @}
+
+    /** Progress through this GE's instruction stream. */
+    uint64_t streamPos = 0, streamLen = 0;
+
+    /** Global index of the next instruction to issue (kNoInstr: done). */
+    uint32_t nextInstr = ~uint32_t(0);
+};
+
+inline constexpr uint32_t kNoInstr = ~uint32_t(0);
+
+/** Everything a SimProbe sees at the end of a simulated cycle. */
+struct SimProbeView
+{
+    uint64_t cycle = 0;
+    std::vector<GeQueueView> ges;
+
+    /** SWW bank-port grants this cycle (index = global bank id). */
+    std::vector<uint8_t> bankAccesses;
+
+    /** Outbound write-combining buffer occupancy (bytes). */
+    uint64_t pendingWriteBytes = 0;
+
+    const SimStats *stats = nullptr;
+};
+
+/**
+ * Observation hook for stepping the timing engine cycle by cycle
+ * (tools/haac_dbg is the main client). onIssue fires for every issued
+ * instruction; onCycle fires once per simulated cycle after that
+ * cycle's issue attempts — return false to stop the run early, in
+ * which case runSimulation returns the statistics accumulated so far.
+ */
+class SimProbe
+{
+  public:
+    virtual ~SimProbe() = default;
+    virtual void onIssue(uint64_t cycle, uint32_t ge,
+                         uint32_t instrIdx, const HaacInstruction &ins,
+                         uint32_t outAddr);
+    virtual bool onCycle(const SimProbeView &view);
+};
+
 /**
  * Run the timing model over a scheduled program.
  *
@@ -48,10 +102,12 @@ StreamSet recordSchedule(const HaacProgram &prog, const HaacConfig &cfg);
  * @param cfg    hardware configuration.
  * @param streams output of buildStreams()/recordSchedule().
  * @param mode   see SimMode.
+ * @param probe  optional cycle-by-cycle observer (see SimProbe).
  */
 SimStats runSimulation(const HaacProgram &prog, const HaacConfig &cfg,
                        const StreamSet &streams,
-                       SimMode mode = SimMode::Combined);
+                       SimMode mode = SimMode::Combined,
+                       SimProbe *probe = nullptr);
 
 /**
  * Wires this engine does not produce itself (they belong to another

@@ -157,10 +157,12 @@ TEST(Disasm, ProgramListing)
     std::ostringstream os;
     disassemble(prog, os);
     const std::string text = os.str();
-    EXPECT_NE(text.find("; inputs: w1..w"), std::string::npos);
-    EXPECT_NE(text.find("const 1"), std::string::npos);
+    EXPECT_NE(text.find(".inputs "), std::string::npos);
+    EXPECT_NE(text.find("garbler="), std::string::npos);
     EXPECT_NE(text.find("0:\t"), std::string::npos);
-    EXPECT_NE(text.find("; outputs:"), std::string::npos);
+    EXPECT_NE(text.find(".outputs"), std::string::npos);
+    if (prog.constOneAddr != kOorAddr)
+        EXPECT_NE(text.find(".const_one"), std::string::npos);
 
     std::ostringstream truncated;
     disassemble(prog, truncated, 2);
