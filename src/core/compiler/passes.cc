@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <numeric>
+#include <stdexcept>
 
 #include "core/compiler/depgraph.h"
+#include "core/isa/verify.h"
 #include "core/sim/config.h"
 
 namespace haac {
@@ -165,6 +167,25 @@ compileProgram(const HaacProgram &baseline, const CompileOptions &opts,
     } else {
         clearEsw(prog);
         live = prog.instrs.size();
+    }
+
+#ifndef NDEBUG
+    const bool check = true;
+#else
+    const bool check = opts.verify;
+#endif
+    if (check) {
+        // Errors only: a no-ESW compile is all-live by design, and the
+        // waste warnings would cost string building per instruction.
+        LintOptions lint;
+        lint.swwWires = opts.swwWires;
+        lint.warnings = false;
+        const LintReport rep = verifyProgram(prog, lint);
+        assert(rep.clean() && "compiler emitted an ill-formed program");
+        if (!rep.clean())
+            throw std::logic_error(
+                "compileProgram: verifier rejected the output (" +
+                rep.summary() + "): " + rep.firstError());
     }
 
     if (stats) {

@@ -78,6 +78,15 @@ struct CompileOptions
     uint32_t swwWires = (2u * 1024 * 1024) / 16;
     /** 0 = default (half the SWW, the paper's best setting). */
     uint32_t segmentSize = 0;
+
+    /**
+     * Run the static verifier (core/isa/verify.h) over the compiled
+     * program and throw std::logic_error on any error-level finding.
+     * Debug builds always verify (and assert) regardless of this flag;
+     * Release builds verify only when it is set — the pass is cheap
+     * (one linear scan) but not free on multi-million-gate programs.
+     */
+    bool verify = false;
 };
 
 /** Summary statistics of a compiled program. */

@@ -187,7 +187,44 @@ struct Parser
         return true;
     }
 
-    /** An instruction operand: w<N> or a previously defined label. */
+    /**
+     * Builtin input names the disassembler emits: g<k> / e<k> (0-based
+     * party input) and `one`. User labels shadow these (resolved first
+     * in operand()); the disassembler defines no labels, so its
+     * listings always resolve to the builtin.
+     */
+    bool
+    builtinName(const std::string &tok, uint32_t &addr) const
+    {
+        if (!sawInputs)
+            return false;
+        if (tok == "one") {
+            if (res.prog.constOneAddr == kOorAddr)
+                return false;
+            addr = res.prog.constOneAddr;
+            return true;
+        }
+        if (tok.size() < 2 || (tok[0] != 'g' && tok[0] != 'e'))
+            return false;
+        uint64_t v = 0;
+        bool overflow = false;
+        Scanner digits{tok, 1};
+        if (!digits.number(v, overflow) || !digits.atEnd() || overflow)
+            return false;
+        const uint32_t g = res.prog.numGarblerInputs;
+        if (tok[0] == 'g') {
+            if (v >= g)
+                return false;
+            addr = uint32_t(v) + 1;
+        } else {
+            if (v >= res.prog.numEvaluatorInputs)
+                return false;
+            addr = g + uint32_t(v) + 1;
+        }
+        return true;
+    }
+
+    /** An instruction operand: w<N>, a label, or a builtin name. */
     bool
     operand(Scanner &sc, uint32_t &addr)
     {
@@ -213,10 +250,13 @@ struct Parser
             return true;
         }
         auto it = labels.find(tok);
-        if (it == labels.end())
-            return fail("undefined label '" + tok + "'");
-        addr = it->second;
-        return true;
+        if (it != labels.end()) {
+            addr = it->second;
+            return true;
+        }
+        if (builtinName(tok, addr))
+            return true;
+        return fail("undefined label '" + tok + "'");
     }
 
     bool
@@ -364,10 +404,12 @@ struct Parser
                 // .outputs may legally precede the instructions.
             } else {
                 auto it = labels.find(tok);
-                if (it == labels.end())
+                if (it != labels.end()) {
+                    addr = it->second;
+                } else if (!builtinName(tok, addr)) {
                     return fail("undefined label '" + tok +
                                 "' in .outputs");
-                addr = it->second;
+                }
             }
             res.prog.outputs.push_back(addr);
             outputLines.push_back(line);
@@ -512,6 +554,7 @@ struct Parser
         pendingLabels.clear();
 
         res.prog.instrs.push_back(ins);
+        res.instrLines.push_back(line);
         res.geHints.push_back(ge_hint);
         anyGeHint = anyGeHint || has_hint;
         return true;
@@ -656,6 +699,13 @@ parseAsm(const std::string &text)
         pos = nl + 1;
     }
     p.finish();
+    if (p.res.ok) {
+        // Structural lint only (swwWires == 0): no window geometry
+        // exists at parse time. Findings do not flip `ok`.
+        LintOptions lint;
+        lint.instrLines = &p.res.instrLines;
+        p.res.lints = verifyProgram(p.res.prog, lint).diags;
+    }
     return p.res;
 }
 

@@ -14,7 +14,12 @@
  *
  *     [k:] [label:] OP a[, b] [-> wN] [[live]] [(tweak T)] [@geN]
  *
- * with operands written `w<addr>` or as a previously defined label. A
+ * with operands written `w<addr>`, as a previously defined label, or as
+ * one of the builtin input names the disassembler emits: `g<k>` /
+ * `e<k>` for the k-th garbler/evaluator input (0-based) and `one` for
+ * the constant-one wire. User labels shadow the builtins (the
+ * disassembler never defines labels, so listings stay round-trip
+ * safe). A
  * numeric `k:` prefix and a `-> wN` arrow are annotations checked
  * against the ISA's implicit output rule (out(k) = inputs + 1 + k); a
  * symbolic `label:` names the instruction's output wire for later
@@ -28,6 +33,14 @@
  * rewrite is the stream generator's job, not the programmer's); the
  * input split is consistent; `.test` bit-string lengths match the
  * declared inputs and outputs.
+ *
+ * Beyond the grammar, every successfully parsed program is run through
+ * the structural half of the static verifier (core/isa/verify.h,
+ * swwWires == 0 — no window geometry exists at parse time). The parser
+ * stays permissive: lint findings land in AsmResult::lints with source
+ * lines attached and do NOT flip `ok`, so a listing of any
+ * address-disciplined program still round-trips; callers that demand
+ * lint-clean inputs (the grader, haac_lint) check `lints` themselves.
  */
 #ifndef HAAC_CORE_ISA_ASM_H
 #define HAAC_CORE_ISA_ASM_H
@@ -37,6 +50,7 @@
 #include <vector>
 
 #include "core/isa/program.h"
+#include "core/isa/verify.h"
 
 namespace haac {
 
@@ -68,6 +82,16 @@ struct AsmResult
 
     /** Grader expectations (`.test` directives), in file order. */
     std::vector<AsmTestVector> tests;
+
+    /** 1-based source line of each instruction (parallel to instrs). */
+    std::vector<uint32_t> instrLines;
+
+    /**
+     * Structural verifier findings (LintOptions{.swwWires = 0}) with
+     * source lines mapped in. Populated only when `ok`; never flips
+     * `ok` — see the file comment.
+     */
+    std::vector<LintDiag> lints;
 };
 
 /** Parse assembly text. Never throws; errors land in AsmResult. */

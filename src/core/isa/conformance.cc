@@ -7,6 +7,7 @@
 #include "core/compiler/streams.h"
 #include "core/isa/asm.h"
 #include "core/isa/disasm.h"
+#include "core/isa/verify.h"
 #include "core/sim/engine.h"
 #include "core/sim/functional.h"
 #include "crypto/prg.h"
@@ -184,6 +185,28 @@ checkConformance(const HaacProgram &prog, const HaacConfig &cfg,
     res.expected = executePlain(prog, garbler, evaluator);
 
     const StreamSet streams = buildStreams(prog, cfg);
+
+    // Static verification before any differential run: a program the
+    // verifier rejects (dropped live bit, tweak reuse, stream
+    // corruption, ...) must be refused here with the diagnostic code,
+    // not discovered as a lucky divergence downstream.
+    LintOptions lint;
+    lint.swwWires = cfg.swwWires();
+    lint.warnings = false;
+    lint.streams = &streams;
+    const LintReport lrep = verifyProgram(prog, lint);
+    if (!lrep.clean()) {
+        for (const LintDiag &d : lrep.diags) {
+            if (d.severity != LintSeverity::Error)
+                continue;
+            res.error = "verifier: error[" +
+                        std::string(lintCodeName(d.code)) +
+                        "]: " + d.message;
+            break;
+        }
+        return res;
+    }
+
     const FunctionalResult fr =
         runFunctional(prog, streams, cfg, garbler, evaluator);
     if (!fr.ok) {
@@ -309,6 +332,23 @@ runAsmCase(const std::string &path, const HaacConfig &cfg)
     if (parsed.tests.empty()) {
         res.error = path + ": no .test vectors (expectation files "
                            "must expect something)";
+        return res;
+    }
+
+    // Full static verification at the grader's window geometry, with
+    // source lines mapped in. Error findings fail the case before a
+    // single vector runs.
+    LintOptions lint;
+    lint.swwWires = cfg.swwWires();
+    lint.instrLines = &parsed.instrLines;
+    const LintReport lrep = verifyProgram(parsed.prog, lint);
+    if (!lrep.clean()) {
+        for (const LintDiag &d : lrep.diags) {
+            if (d.severity != LintSeverity::Error)
+                continue;
+            res.error = formatDiag(d, path);
+            break;
+        }
         return res;
     }
 

@@ -35,6 +35,21 @@ wireName(uint32_t addr)
 } // namespace
 
 std::string
+wireName(const HaacProgram &prog, uint32_t addr)
+{
+    if (addr == kOorAddr)
+        return "oorw";
+    if (prog.constOneAddr != kOorAddr && addr == prog.constOneAddr)
+        return "one";
+    if (addr >= 1 && addr <= prog.numGarblerInputs)
+        return "g" + std::to_string(addr - 1);
+    if (addr > prog.numGarblerInputs &&
+        addr <= prog.numGarblerInputs + prog.numEvaluatorInputs)
+        return "e" + std::to_string(addr - prog.numGarblerInputs - 1);
+    return "w" + std::to_string(addr);
+}
+
+std::string
 toString(const HaacInstruction &ins, uint32_t out_addr)
 {
     std::ostringstream os;
@@ -67,8 +82,16 @@ disassemble(const HaacProgram &prog, std::ostream &os, size_t max_instrs,
                          ? prog.instrs.size()
                          : std::min(max_instrs, prog.instrs.size());
     for (size_t k = 0; k < n; ++k) {
-        os << k << ":\t"
-           << toString(prog.instrs[k], prog.outputAddrOf(k));
+        const HaacInstruction &ins = prog.instrs[k];
+        os << k << ":\t" << opName(ins.op) << ' '
+           << wireName(prog, ins.a);
+        if (ins.op == HaacOp::And || ins.op == HaacOp::Xor)
+            os << ", " << wireName(prog, ins.b);
+        os << " -> w" << prog.outputAddrOf(k);
+        if (ins.live)
+            os << " [live]";
+        if (ins.op == HaacOp::And)
+            os << " (tweak " << ins.tweak << ")";
         if (ge_of && k < ge_of->size())
             os << " @ge" << unsigned((*ge_of)[k]);
         os << "\n";
@@ -77,7 +100,7 @@ disassemble(const HaacProgram &prog, std::ostream &os, size_t max_instrs,
         os << "; ... " << prog.instrs.size() - n << " more\n";
     os << ".outputs";
     for (uint32_t o : prog.outputs)
-        os << " w" << o;
+        os << ' ' << wireName(prog, o);
     os << "\n";
 }
 

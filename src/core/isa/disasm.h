@@ -26,12 +26,23 @@ const char *opName(HaacOp op);
 
 /**
  * One instruction as text, e.g. "AND w12, w7 -> w19 [live] (tweak 4)".
+ * Always spells operands as `w<addr>` (no program context); the
+ * listing produced by disassemble() uses symbolic names instead.
  *
  * @param out_addr the instruction's implicit output address; pass
  *        kOorAddr to omit the arrow.
  */
 std::string toString(const HaacInstruction &ins,
                      uint32_t out_addr = kOorAddr);
+
+/**
+ * Symbolic spelling of a wire address in @p prog: `g<k>` / `e<k>` for
+ * the k-th garbler/evaluator input (0-based), `one` for the
+ * constant-one wire, `oorw` for the reserved sentinel, and `w<addr>`
+ * for everything else. The assembler resolves all of these, so
+ * listings built from this spelling round-trip through parseAsm().
+ */
+std::string wireName(const HaacProgram &prog, uint32_t addr);
 
 /**
  * Disassemble a whole program.

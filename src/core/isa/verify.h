@@ -1,0 +1,213 @@
+/**
+ * @file
+ * haac-lint: a static program verifier for the HAAC ISA.
+ *
+ * Everything here proves properties of a HaacProgram *without running
+ * it* — the static complement to the differential conformance harness
+ * (core/isa/conformance.h), which can only witness divergence one seed
+ * at a time. The checks encode the contracts the rest of the stack
+ * assumes:
+ *
+ *  - **address discipline**: operands name the OoRW sentinel or a wire
+ *    at/after their own output (use-before-def). Because the ISA's
+ *    output rule is implicit (out(k) = inputs + 1 + k), single
+ *    assignment is structural and def-before-use implies the wire
+ *    dependence graph is acyclic — so one linear scan proves both.
+ *
+ *  - **tweak uniqueness**: every AND's tweak keys the correlation-
+ *    robust Half-Gate hashes. Two ANDs sharing a tweak collapse their
+ *    hash domains, which breaks the security argument — tweak reuse is
+ *    an *error*, not a style nit, even though every dynamic check
+ *    would still pass on it.
+ *
+ *  - **liveness soundness** under the SWW window: an operand read
+ *    below windowBase(out, swwWires) comes back through the OoRW
+ *    queue, which replays DRAM spills — so its producer must carry the
+ *    live bit or the hardware fabricates nothing and the run diverges.
+ *    This is exactly the functional-divergence class the conformance
+ *    fuzzer hunts by luck; the verifier proves its absence. Program
+ *    outputs must be live for the same reason (decode reads DRAM).
+ *
+ *  - **liveness waste**: a live bit on a wire nobody ever reads
+ *    off-window (and that is neither a program output nor a shard
+ *    export) buys nothing and costs one label of DRAM write traffic —
+ *    a warning, quantified in bytes.
+ *
+ *  - **NOP-output reads**: the plaintext oracle materializes a NOP's
+ *    output as false while the machine never writes the wire at all; a
+ *    program reading one is ill-formed by fiat.
+ *
+ *  - **stream consistency** (optional StreamSet): the per-GE queue
+ *    streams must partition the program, rewrite exactly the
+ *    off-window operands to the OoRW sentinel, and list the OoRW pops
+ *    in operand order (a before b).
+ *
+ *  - **shard-manifest consistency** (optional ShardManifest): every
+ *    cross-shard read must appear in the consumer's import list and
+ *    the producer's export list, and every export must be live (the
+ *    consuming shard fetches it from DRAM).
+ *
+ * Diagnostics are structured (stable code, severity, instruction
+ * index, source line when the caller has one) so the compiler, the
+ * assembler, the conformance harness, haac_dbg, and the haac_lint CLI
+ * all report through one vocabulary. The code table is documented in
+ * docs/ARCHITECTURE.md.
+ */
+#ifndef HAAC_CORE_ISA_VERIFY_H
+#define HAAC_CORE_ISA_VERIFY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/isa/program.h"
+
+namespace haac {
+
+struct StreamSet; // core/compiler/streams.h
+
+/** Severity of one lint diagnostic. */
+enum class LintSeverity
+{
+    Error,   ///< the program will diverge, crash, or leak — reject it
+    Warning, ///< legal but wasteful or fragile
+    Note,    ///< context attached to a preceding diagnostic
+};
+
+/**
+ * Stable diagnostic codes. The enumerator order is the severity-major
+ * order used in docs/ARCHITECTURE.md; lintCodeName() gives the
+ * kebab-case spelling tools print and tests grep for.
+ */
+enum class LintCode
+{
+    // --- errors -----------------------------------------------------
+    SentinelOperand,   ///< operand is w0, the reserved OoRW sentinel
+    UseBeforeDef,      ///< operand at/after its own output (also: cycle)
+    NopOutputRead,     ///< operand or output reads a NOP's output wire
+    TweakReuse,        ///< two ANDs share a Half-Gate tweak (security)
+    InputSplit,        ///< garbler+evaluator counts don't fit numInputs
+    ConstOne,          ///< .const_one discipline violated
+    UndefinedOutput,   ///< program output w0 or past the address space
+    OutputNotLive,     ///< program output's producer is not live
+    DroppedLiveBit,    ///< off-window read of a dead producer
+    StreamCoverage,    ///< GE streams don't partition the program
+    StreamOorMismatch, ///< OoRW rewrite/pop order wrong for the window
+    StreamTableCount,  ///< per-GE table count != its AND count
+    ShardManifestBad,  ///< manifest malformed (sizes, ownership)
+    ShardImportMissing,///< cross-shard read absent from consumer imports
+    ShardExportMissing,///< cross-shard read absent from producer exports
+    ShardExportDead,   ///< exported wire's producer is not live
+    // --- warnings ---------------------------------------------------
+    LivenessWaste,     ///< live bit nobody reads off-window (DRAM waste)
+    NoncanonicalOperand,///< NOT/NOP with b != a (breaks round-trip ==)
+    StrayTweak,        ///< non-zero tweak on a non-AND instruction
+    ShardImportUnused, ///< import entry no instruction justifies
+    ShardExportUnused, ///< export entry no other shard imports
+};
+
+/** Kebab-case code name, e.g. "tweak-reuse". */
+const char *lintCodeName(LintCode code);
+
+/** "error" / "warning" / "note". */
+const char *lintSeverityName(LintSeverity sev);
+
+/** Sentinel for diagnostics that are not tied to one instruction. */
+inline constexpr uint32_t kNoLintInstr = ~uint32_t(0);
+
+/** One structured finding. */
+struct LintDiag
+{
+    LintCode code = LintCode::UseBeforeDef;
+    LintSeverity severity = LintSeverity::Error;
+
+    /** Instruction index, or kNoLintInstr for program-scope findings. */
+    uint32_t instr = kNoLintInstr;
+
+    /** Wire address involved (kOorAddr when not applicable). */
+    uint32_t addr = kOorAddr;
+
+    /** 1-based .haac source line when the caller supplied a map. */
+    uint32_t line = 0;
+
+    std::string message;
+};
+
+/**
+ * Shard import/export manifest in verifier-neutral form, so core/isa
+ * does not depend on src/shard. shard::toLintManifest(plan) converts a
+ * ShardPlan (src/shard/partition.h).
+ */
+struct ShardManifest
+{
+    /** Owning shard per program instruction. */
+    std::vector<uint8_t> shardOfInstr;
+
+    /** Per shard: wire addresses read here, produced elsewhere. */
+    std::vector<std::vector<uint32_t>> imports;
+
+    /** Per shard: wire addresses produced here, imported elsewhere. */
+    std::vector<std::vector<uint32_t>> exports;
+};
+
+struct LintOptions
+{
+    /**
+     * SWW capacity in wires. 0 runs the structural checks only
+     * (everything that does not depend on the window geometry) — the
+     * right mode for parse-time linting, where no config exists yet.
+     */
+    uint32_t swwWires = 0;
+
+    /** Emit warnings (liveness waste, manifest slack, canonicality). */
+    bool warnings = true;
+
+    /** When set, also check queue-stream consistency. */
+    const StreamSet *streams = nullptr;
+
+    /** When set, also check shard import/export consistency. */
+    const ShardManifest *shards = nullptr;
+
+    /** Per-instruction 1-based source lines (AsmResult::instrLines). */
+    const std::vector<uint32_t> *instrLines = nullptr;
+};
+
+struct LintReport
+{
+    std::vector<LintDiag> diags;
+    uint32_t errors = 0;
+    uint32_t warnings = 0;
+    uint32_t notes = 0;
+
+    /** Avoidable DRAM write traffic from liveness waste, in bytes. */
+    uint64_t wasteBytes = 0;
+
+    /** No errors (warnings allowed). */
+    bool clean() const { return errors == 0; }
+
+    /** "2 errors, 1 warning" (never empty). */
+    std::string summary() const;
+
+    /** First error's message, or "" when clean. */
+    std::string firstError() const;
+};
+
+/**
+ * Run every applicable check over @p prog. Never simulates; runtime is
+ * O(instructions · log instructions) and allocation-light, so the
+ * compiler can afford it as a post-pass on every Debug build.
+ */
+LintReport verifyProgram(const HaacProgram &prog,
+                         const LintOptions &opts = LintOptions{});
+
+/**
+ * One diagnostic as a compiler-style line:
+ * "file.haac:12: error[tweak-reuse]: ..." (file and line elided when
+ * unknown; instruction index appended as "#k" when known).
+ */
+std::string formatDiag(const LintDiag &diag,
+                       const std::string &file = std::string());
+
+} // namespace haac
+
+#endif // HAAC_CORE_ISA_VERIFY_H

@@ -113,6 +113,20 @@ markCrossShardLive(HaacProgram &prog, const ShardPlan &plan)
     return flipped;
 }
 
+ShardManifest
+toLintManifest(const ShardPlan &plan)
+{
+    ShardManifest man;
+    man.shardOfInstr = plan.shardOfInstr;
+    man.imports.reserve(plan.parts.size());
+    man.exports.reserve(plan.parts.size());
+    for (const ShardPart &part : plan.parts) {
+        man.imports.push_back(part.imports);
+        man.exports.push_back(part.exports);
+    }
+    return man;
+}
+
 std::vector<bool>
 evalAllWires(const HaacProgram &prog,
              const std::vector<bool> &garbler_bits,

@@ -30,6 +30,7 @@
 
 #include "core/compiler/streams.h"
 #include "core/isa/program.h"
+#include "core/isa/verify.h"
 
 namespace haac::shard {
 
@@ -89,6 +90,14 @@ ShardPlan partitionStreams(const HaacProgram &prog, const StreamSet &set,
  * @return number of live bits newly set.
  */
 uint64_t markCrossShardLive(HaacProgram &prog, const ShardPlan &plan);
+
+/**
+ * The plan's manifest in the static verifier's neutral form, so
+ * verifyProgram() can check shard import/export consistency
+ * (LintOptions::shards) without core/isa depending on this subsystem.
+ * Check *after* markCrossShardLive — a dead export is an error.
+ */
+ShardManifest toLintManifest(const ShardPlan &plan);
 
 /**
  * Plaintext value of every wire address (index = absolute address;

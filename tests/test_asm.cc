@@ -305,16 +305,18 @@ TEST(Disasm, EveryOpcodeRoundTrips)
     prog.outputs = {6};
     ASSERT_EQ(prog.check(), "");
 
+    // The listing spells inputs symbolically (g0/e0/one); interior
+    // wires keep the w<addr> form. Everything must still round-trip.
     const std::string text = toAsm(prog);
     for (const char *needle :
-         {"AND w1, w2", "[live]", "(tweak 0)", "XOR w4, w3", "NOT w5",
-          "NOP w2", ".const_one w3", ".outputs w6"})
+         {"AND g0, e0", "[live]", "(tweak 0)", "XOR w4, one", "NOT w5",
+          "NOP e0", ".const_one w3", ".outputs w6"})
         EXPECT_NE(text.find(needle), std::string::npos)
             << "missing '" << needle << "' in:\n"
             << text;
     // NOT/NOP must not spell their ignored b operand.
     EXPECT_EQ(text.find("NOT w5,"), std::string::npos);
-    EXPECT_EQ(text.find("NOP w2,"), std::string::npos);
+    EXPECT_EQ(text.find("NOP e0,"), std::string::npos);
 
     const AsmResult r = parseAsm(text);
     ASSERT_TRUE(r.ok) << r.error;

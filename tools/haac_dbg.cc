@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <cstring>
 #include <deque>
+#include <fstream>
 #include <iostream>
 #include <set>
 #include <sstream>
@@ -27,6 +28,7 @@
 #include "core/isa/asm.h"
 #include "core/isa/disasm.h"
 #include "core/isa/program.h"
+#include "core/isa/verify.h"
 #include "core/sim/config.h"
 #include "core/sim/engine.h"
 #include "core/sim/functional.h"
@@ -82,6 +84,11 @@ usage(std::ostream &os)
           "  disasm               next instruction of every GE\n"
           "  where                cycle and per-GE stream positions\n"
           "  stats                statistics so far\n"
+          "  lint                 run the static verifier (haac-lint)\n"
+          "                       over the loaded program + streams\n"
+          "  dump [FILE]          write the current state as a\n"
+          "                       committable .haac repro with a .test\n"
+          "                       line (default haac_dbg_dump.haac)\n"
           "  quit | q             abandon the run\n";
 }
 
@@ -121,8 +128,15 @@ parseWire(const std::string &tok, uint32_t &addr)
 class Debugger : public SimProbe
 {
   public:
-    Debugger(const HaacProgram &prog, const Options &opt)
-        : prog_(prog), batch_(opt.batch)
+    Debugger(const HaacProgram &prog, const Options &opt,
+             const StreamSet &streams, std::vector<bool> garbler_bits,
+             std::vector<bool> evaluator_bits,
+             std::vector<uint32_t> instr_lines, std::string src_name)
+        : prog_(prog), cfg_(opt.cfg), streams_(streams),
+          garblerBits_(std::move(garbler_bits)),
+          evaluatorBits_(std::move(evaluator_bits)),
+          instrLines_(std::move(instr_lines)),
+          srcName_(std::move(src_name)), batch_(opt.batch)
     {
         for (const std::string &cmd : opt.scripted)
             scripted_.push_back(cmd);
@@ -283,6 +297,16 @@ class Debugger : public SimProbe
                 printStats();
                 continue;
             }
+            if (cmd == "lint") {
+                printLint();
+                continue;
+            }
+            if (cmd == "dump") {
+                std::string file;
+                in >> file;
+                dumpRepro(file);
+                continue;
+            }
             if (cmd == "help" || cmd == "h" || cmd == "?") {
                 usage(std::cout);
                 continue;
@@ -386,7 +410,79 @@ class Debugger : public SimProbe
                   << " wbuf=" << st.stallWriteBuffer << "\n";
     }
 
+    void
+    printLint()
+    {
+        LintOptions opts;
+        opts.swwWires = cfg_.swwWires();
+        opts.streams = &streams_;
+        if (!instrLines_.empty())
+            opts.instrLines = &instrLines_;
+        const LintReport rep = verifyProgram(prog_, opts);
+        for (const LintDiag &d : rep.diags)
+            std::cout << "  " << formatDiag(d, srcName_) << "\n";
+        std::cout << "  lint: " << rep.summary();
+        if (rep.wasteBytes > 0)
+            std::cout << " (" << rep.wasteBytes
+                      << " avoidable DRAM bytes)";
+        std::cout << "\n";
+    }
+
+    void
+    dumpRepro(std::string file)
+    {
+        if (file.empty())
+            file = "haac_dbg_dump.haac";
+        std::ostringstream os;
+        os << "; haac_dbg repro dump";
+        if (!srcName_.empty())
+            os << " of " << srcName_;
+        os << "\n";
+        if (haveView_) {
+            os << "; stopped at cycle " << view_.cycle
+               << "; per-GE stream positions:";
+            for (size_t g = 0; g < view_.ges.size(); ++g)
+                os << " ge" << g << "=" << view_.ges[g].streamPos
+                   << "/" << view_.ges[g].streamLen;
+            os << "\n";
+        }
+        os << "; config: ges=" << cfg_.numGes
+           << " sww_wires=" << cfg_.swwWires()
+           << " banks_per_ge=" << cfg_.banksPerGe << " role="
+           << (cfg_.role == Role::Garbler ? "garbler" : "evaluator")
+           << "\n";
+        os << toAsm(prog_);
+        const std::vector<bool> expect =
+            executePlain(prog_, garblerBits_, evaluatorBits_);
+        auto bits = [](const std::vector<bool> &v) {
+            std::string s;
+            s.reserve(v.size());
+            for (bool b : v)
+                s.push_back(b ? '1' : '0');
+            return s;
+        };
+        os << ".test garbler=" << bits(garblerBits_)
+           << " evaluator=" << bits(evaluatorBits_)
+           << " expect=" << bits(expect) << "\n";
+
+        std::ofstream out(file, std::ios::binary);
+        if (!out) {
+            std::cout << "cannot write " << file << "\n";
+            return;
+        }
+        out << os.str();
+        std::cout << "dumped " << prog_.instrs.size()
+                  << " instructions + .test vector to " << file
+                  << "\n";
+    }
+
     const HaacProgram &prog_;
+    const HaacConfig cfg_;
+    const StreamSet &streams_;
+    std::vector<bool> garblerBits_;
+    std::vector<bool> evaluatorBits_;
+    std::vector<uint32_t> instrLines_;
+    std::string srcName_;
     bool batch_ = false;
     std::deque<std::string> scripted_;
     std::set<uint64_t> cycleBreaks_;
@@ -510,6 +606,8 @@ main(int argc, char **argv)
     HaacProgram prog;
     std::vector<bool> garblerBits, evaluatorBits;
     std::vector<AsmTestVector> tests;
+    std::vector<uint32_t> instrLines;
+    std::string srcName;
     if (!opt.workload.empty()) {
         Workload w;
         try {
@@ -536,6 +634,8 @@ main(int argc, char **argv)
             return fail(opt.asmFile + ": " + r.error);
         prog = r.prog;
         tests = r.tests;
+        instrLines = r.instrLines;
+        srcName = opt.asmFile;
         garblerBits.assign(prog.numGarblerInputs, false);
         evaluatorBits.assign(prog.numEvaluatorInputs, false);
         if (!tests.empty()) {
@@ -560,7 +660,8 @@ main(int argc, char **argv)
                                                 : "evaluator")
               << ", " << streams.totalOor << " OoR reads\n";
 
-    Debugger dbg(prog, opt);
+    Debugger dbg(prog, opt, streams, garblerBits, evaluatorBits,
+                 std::move(instrLines), std::move(srcName));
     const SimStats st =
         runSimulation(prog, opt.cfg, streams, opt.mode, &dbg);
 
