@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Serving-layer throughput: queries per second with the amortization
+ * layer (GarblePool + workload cache + per-connection base-OT cache)
+ * on versus off.
+ *
+ * The ROADMAP's serving scenario is repeat traffic: N concurrent
+ * clients asking one haac_server for the same circuit over and over.
+ * Cold, every query pays circuit synthesis, the Chou-Orlandi base OT
+ * (hundreds of Curve25519 scalar multiplications), and a full inline
+ * garbling inside its latency window. The serving layer moves all
+ * three off the request path. This bench drives N loopback evaluator
+ * clients through a GcServer for Q queries each — one connection per
+ * client, one session per query — in both configurations and reports
+ * the QPS ratio. The acceptance bar for PR 8 is >= 2x with the layer
+ * on; --min-speedup fails the run below a floor (CI uses a softer
+ * floor than the acceptance number to absorb runner noise).
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "harness.h"
+#include "net/loopback.h"
+#include "net/server.h"
+#include "serve/pool.h"
+
+using namespace haac;
+using namespace haac::bench;
+
+namespace {
+
+struct QpsResult
+{
+    double seconds = 0;
+    double qps = 0;
+    uint64_t gates = 0;
+    uint64_t poolHits = 0;
+    uint64_t poolMisses = 0;
+    uint64_t otSetupsReused = 0;
+    uint64_t wrongOutputs = 0;
+};
+
+/** Run @p clients x @p queries against one GcServer configuration. */
+QpsResult
+runPhase(const Workload &wl, const std::string &spec, uint32_t clients,
+         uint32_t queries, bool serving_layer)
+{
+    ServerOptions opts;
+    opts.threads = clients;
+    opts.cacheWorkloads = serving_layer;
+    opts.cacheBaseOt = serving_layer;
+
+    std::unique_ptr<serve::GarblePool> pool;
+    if (serving_layer) {
+        serve::PoolOptions popts;
+        // Steady-state serving: the pool ran ahead of demand during
+        // idle time, so the whole burst finds ready instances. The
+        // timed window then measures replay + OT-extension cost, not
+        // garbling — the amortization the pool exists to provide.
+        // Low-water 1 keeps the fillers quiet until a queue actually
+        // empties, so refill garbling does not steal session CPU
+        // mid-burst (it matters on small CI runners).
+        popts.depth = size_t(clients) * queries;
+        popts.lowWater = 1;
+        popts.threads = 2;
+        pool = std::make_unique<serve::GarblePool>(popts);
+        pool->track(spec, wl.netlist);
+        pool->prewarm();
+        opts.pool = pool.get();
+    }
+    GcServer server(opts);
+
+    const std::vector<bool> expected =
+        wl.netlist.evaluate(wl.garblerBits, wl.evaluatorBits);
+    std::atomic<uint64_t> wrong{0};
+
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (uint32_t c = 0; c < clients; ++c) {
+        auto [client_end, server_end] = LoopbackTransport::createPair();
+        server.submit(std::move(server_end));
+        threads.emplace_back([&, t = std::move(client_end)] {
+            OtConnectionCache ot_cache;
+            RemoteOptions ropts;
+            if (serving_layer)
+                ropts.otCache = &ot_cache;
+            clientHello(*t, PeerRole::Evaluator, spec);
+            for (uint32_t q = 0; q < queries; ++q) {
+                if (q > 0)
+                    clientRequest(*t, spec);
+                const RemoteResult res =
+                    runRemoteEvaluator(wl.netlist, wl.evaluatorBits,
+                                       *t, ropts);
+                if (res.outputs != expected)
+                    ++wrong;
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    server.drain();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+
+    const GcServer::Totals totals = server.totals();
+    QpsResult r;
+    r.seconds = elapsed.count();
+    r.qps = r.seconds > 0
+                ? double(clients) * double(queries) / r.seconds
+                : 0;
+    r.gates = totals.gates;
+    r.poolHits = totals.poolHits;
+    r.poolMisses = totals.poolMisses;
+    r.otSetupsReused = totals.otSetupsReused;
+    r.wrongOutputs = wrong.load();
+    return r;
+}
+
+RunReport
+phaseReport(const Workload &wl, const QpsResult &r, uint32_t clients,
+            uint32_t queries, bool serving_layer)
+{
+    RunReport report;
+    report.backend = "server-qps";
+    report.workload = wl.name;
+    report.hostSeconds = r.seconds;
+    report.gates = r.gates;
+    report.serve.queries = uint64_t(clients) * queries;
+    report.serve.queriesPerSecond = r.qps;
+    report.serve.pooledGarbling = serving_layer && r.poolHits > 0;
+    report.serve.otSetupReused = r.otSetupsReused > 0;
+    report.serve.poolHits = r.poolHits;
+    report.serve.poolMisses = r.poolMisses;
+    report.hasServe = true;
+    return report;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint32_t clients = 8;
+    uint32_t queries = 8;
+    std::string spec = "Hamm";
+    double min_speedup = 0;
+
+    // Strip the bench-specific flags, hand the rest to the shared
+    // harness parser (--json / --csv / --help).
+    std::vector<char *> pass;
+    pass.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--clients=", 0) == 0)
+            clients = uint32_t(std::strtoul(arg.c_str() + 10, nullptr,
+                                            10));
+        else if (arg.rfind("--queries=", 0) == 0)
+            queries = uint32_t(std::strtoul(arg.c_str() + 10, nullptr,
+                                            10));
+        else if (arg.rfind("--workload=", 0) == 0)
+            spec = arg.substr(11);
+        else if (arg.rfind("--min-speedup=", 0) == 0)
+            min_speedup = std::strtod(arg.c_str() + 14, nullptr);
+        else
+            pass.push_back(argv[i]);
+    }
+    if (clients == 0 || queries == 0) {
+        std::fprintf(stderr,
+                     "--clients and --queries must be >= 1\n");
+        return 2;
+    }
+    Options opts = parseArgs(
+        int(pass.size()), pass.data(),
+        "Serving-layer QPS: pool + caches on vs off\n\n"
+        "extra flags:\n"
+        "  --clients=N      concurrent loopback clients (default 8)\n"
+        "  --queries=N      sessions per client (default 8)\n"
+        "  --workload=SPEC  circuit to serve (default Hamm)\n"
+        "  --min-speedup=X  exit nonzero below X (default 0)");
+
+    const Workload wl = resolveWorkload(spec);
+    std::printf("== Serving-layer QPS: %u clients x %u queries of %s "
+                "(%u gates, real IKNP OT) ==\n\n",
+                unsigned(clients), unsigned(queries), spec.c_str(),
+                unsigned(wl.netlist.numGates()));
+
+    RunLog log(opts, "server_qps");
+    Report table({"Phase", "Seconds", "QPS", "Gates/s", "PoolHit",
+                  "PoolMiss", "OtReuse", "Wrong"},
+                 opts.format);
+
+    const QpsResult off = runPhase(wl, spec, clients, queries, false);
+    const QpsResult on = runPhase(wl, spec, clients, queries, true);
+
+    auto emit = [&](const char *name, const QpsResult &r, bool layer) {
+        RunReport report = phaseReport(wl, r, clients, queries, layer);
+        log.add(report, name);
+        table.addRow({name, fmt(r.seconds, 3), fmt(r.qps, 1),
+                      fmt(report.gatesPerSecond(), 0),
+                      std::to_string(r.poolHits),
+                      std::to_string(r.poolMisses),
+                      std::to_string(r.otSetupsReused),
+                      std::to_string(r.wrongOutputs)});
+    };
+    emit("pool-off", off, false);
+    emit("pool-on", on, true);
+    table.print(std::cout);
+
+    const double speedup = off.qps > 0 ? on.qps / off.qps : 0;
+    std::printf("\nserving layer speedup: %.2fx (%.1f -> %.1f QPS)\n",
+                speedup, off.qps, on.qps);
+
+    if (off.wrongOutputs + on.wrongOutputs > 0) {
+        std::fprintf(stderr, "FAIL: %llu wrong outputs\n",
+                     (unsigned long long)(off.wrongOutputs +
+                                          on.wrongOutputs));
+        return 1;
+    }
+    if (min_speedup > 0 && speedup < min_speedup) {
+        std::fprintf(stderr, "FAIL: speedup %.2fx below floor %.2fx\n",
+                     speedup, min_speedup);
+        return 1;
+    }
+    return 0;
+}

@@ -150,6 +150,9 @@ RunReport::toJson() const
     j.add("label", label);
     j.add("host_seconds", hostSeconds);
     j.add("modeled_seconds", modeledSeconds());
+    j.add("gates", gates);
+    j.add("gates_per_sec", gatesPerSecond());
+    j.add("wire_bytes_per_sec", wireBytesPerSecond());
 
     j.begin("config");
     j.add("ges", uint64_t(config.numGes));
@@ -232,6 +235,20 @@ RunReport::toJson() const
         j.end();
     }
 
+    if (hasServe) {
+        j.begin("serve");
+        j.add("compile_cache_hit", serve.compileCacheHit);
+        j.add("compile_cache_hits", serve.compileCacheHits);
+        j.add("compile_cache_misses", serve.compileCacheMisses);
+        j.add("pooled_garbling", serve.pooledGarbling);
+        j.add("ot_setup_reused", serve.otSetupReused);
+        j.add("pool_hits", serve.poolHits);
+        j.add("pool_misses", serve.poolMisses);
+        j.add("queries", serve.queries);
+        j.add("queries_per_second", serve.queriesPerSecond);
+        j.end();
+    }
+
     if (hasEnergy) {
         j.begin("energy");
         j.add("half_gate_j", energy.halfGateJ);
@@ -251,7 +268,8 @@ RunReport::csvHeader()
 {
     return "backend,workload,label,mode,ges,sww_bytes,dram,role,"
            "cycles,modeled_seconds,instructions,live_wires,oor_reads,"
-           "traffic_bytes,comm_total_bytes,energy_total_j,host_seconds";
+           "traffic_bytes,comm_total_bytes,energy_total_j,host_seconds,"
+           "gates,gates_per_sec,wire_bytes_per_sec";
 }
 
 std::string
@@ -279,7 +297,9 @@ RunReport::csvRow() const
        << (hasSim ? compile.oorReads : 0) << ','
        << (hasSim ? sim.totalTrafficBytes() : 0) << ','
        << (hasComm ? comm.totalBytes : 0) << ','
-       << (hasEnergy ? energy.totalJ() : 0.0) << ',' << hostSeconds;
+       << (hasEnergy ? energy.totalJ() : 0.0) << ',' << hostSeconds
+       << ',' << gates << ',' << gatesPerSecond() << ','
+       << wireBytesPerSecond();
     return os.str();
 }
 

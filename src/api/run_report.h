@@ -124,12 +124,43 @@ struct RunReport
     bool hasEnergy = false;
     /// @}
 
+    /** @name Serving layer (src/serve: compile cache + garble pool) */
+    /// @{
+    struct Serve
+    {
+        /** This run's compile was answered from the CompileCache. */
+        bool compileCacheHit = false;
+        /** Cache-wide counters at report time (CacheStats). */
+        uint64_t compileCacheHits = 0;
+        uint64_t compileCacheMisses = 0;
+        /** The garbler replayed a pooled GarbledInstance. */
+        bool pooledGarbling = false;
+        /** The session reused a cached base-OT + IKNP setup. */
+        bool otSetupReused = false;
+        /** Pool-wide counters at report time (PoolStats). */
+        uint64_t poolHits = 0;
+        uint64_t poolMisses = 0;
+        /** Aggregate figures for multi-query reports (bench/). */
+        uint64_t queries = 0;
+        double queriesPerSecond = 0;
+    };
+    Serve serve;
+    bool hasServe = false;
+    /// @}
+
     /** Configuration echo, so a serialized report is self-describing. */
     HaacConfig config;
     SimMode mode = SimMode::Combined;
 
     /** Host wall-clock seconds spent producing this report. */
     double hostSeconds = 0;
+
+    /**
+     * Gates the execution covered: netlist gates for the GC backends,
+     * compiled instructions for the simulator (every gate becomes one
+     * instruction). The basis of the derived gates_per_sec rate.
+     */
+    uint64_t gates = 0;
 
     /**
      * The time the backend models for the execution: simulated
@@ -139,6 +170,37 @@ struct RunReport
     modeledSeconds() const
     {
         return hasSim ? sim.seconds() : hostSeconds;
+    }
+
+    /** Derived throughput over modeled time (0 when time is 0). */
+    double
+    gatesPerSecond() const
+    {
+        const double s = modeledSeconds();
+        return s > 0 ? double(gates) / s : 0;
+    }
+
+    /**
+     * Garbler→evaluator wire payload this run moved: measured protocol
+     * bytes when communication was real, the simulator's modeled wire
+     * traffic otherwise.
+     */
+    uint64_t
+    wireBytes() const
+    {
+        if (hasComm)
+            return comm.totalBytes;
+        if (hasSim)
+            return sim.wireTrafficBytes();
+        return 0;
+    }
+
+    /** Derived wire bandwidth over modeled time (0 when time is 0). */
+    double
+    wireBytesPerSecond() const
+    {
+        const double s = modeledSeconds();
+        return s > 0 ? double(wireBytes()) / s : 0;
     }
 
     /** One JSON object (single line, stable key order). */

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "serve/compile_cache.h"
 #include "workloads/vip.h"
 
 namespace haac {
@@ -101,6 +102,13 @@ Session::withOutputs(bool want)
     return *this;
 }
 
+Session &
+Session::withCompileCache(serve::CompileCache *cache)
+{
+    compileCache_ = cache;
+    return *this;
+}
+
 bool
 Session::inputsMatchCircuit() const
 {
@@ -120,6 +128,13 @@ Session::compile() const
     CompileOptions opts = copts_;
     opts.swwWires = config_.swwWires();
     Compiled out;
+    if (compileCache_ != nullptr) {
+        const auto unit =
+            compileCache_->compile(netlist_, opts, config_);
+        out.program = unit->program;
+        out.stats = unit->stats;
+        return out;
+    }
     out.program = compileProgram(assemble(netlist_), opts, &out.stats);
     return out;
 }

@@ -35,6 +35,10 @@ namespace haac {
 
 struct Workload;
 
+namespace serve {
+class CompileCache;
+}
+
 class Session
 {
   public:
@@ -92,6 +96,14 @@ class Session
      * that only read timing turn this off to skip the plaintext pass.
      */
     Session &withOutputs(bool want);
+    /**
+     * Borrowed compile cache (src/serve): compile() and the
+     * simulation backends answer repeat compiles of the same
+     * (netlist, options, config) from it instead of re-running the
+     * compiler pipeline. The cache must outlive the session; null
+     * (the default) compiles fresh every run.
+     */
+    Session &withCompileCache(serve::CompileCache *cache);
     /// @}
 
     /** @name Accessors (used by backends) */
@@ -119,6 +131,7 @@ class Session
     {
         return shardWorkers_;
     }
+    serve::CompileCache *compileCache() const { return compileCache_; }
 
     /** Do the stored inputs match the circuit's input shape? */
     bool inputsMatchCircuit() const;
@@ -178,6 +191,7 @@ class Session
     uint32_t segmentTables_ = 1024;
     uint32_t shards_ = 1;
     std::vector<std::string> shardWorkers_;
+    serve::CompileCache *compileCache_ = nullptr;
 };
 
 } // namespace haac

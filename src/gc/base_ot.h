@@ -69,6 +69,14 @@ class BaseOtSender
     const std::vector<Label> &keys0() const { return keys0_; }
     const std::vector<Label> &keys1() const { return keys1_; }
 
+    /** Re-point at a new channel pair (gc/ot_ext.h rebinds through). */
+    void
+    rebind(ByteChannel &out, ByteChannel &in)
+    {
+        out_ = &out;
+        in_ = &in;
+    }
+
   private:
     ByteChannel *out_;
     ByteChannel *in_;

@@ -87,6 +87,20 @@ class OtExtSender
 
     bool ready() const { return ready_; }
 
+    /**
+     * Point the endpoint at a new channel pair. The serving layer's
+     * per-connection base-OT cache (net/remote.h) keeps this object
+     * alive across sessions whose NetChannels are per-session: rebind
+     * before each reuse, then keep calling send() — the column PRGs
+     * and the tweak base advance across batches by construction.
+     */
+    void
+    rebind(ByteChannel &out, ByteChannel &in)
+    {
+        out_ = &out;
+        in_ = &in;
+    }
+
   private:
     ByteChannel *out_;
     ByteChannel *in_;
@@ -124,6 +138,15 @@ class OtExtReceiver
     std::vector<Label> receiveLabels();
 
     bool ready() const { return ready_; }
+
+    /** Re-point at a new channel pair (see OtExtSender::rebind). */
+    void
+    rebind(ByteChannel &out, ByteChannel &in)
+    {
+        out_ = &out;
+        in_ = &in;
+        base_.rebind(out, in);
+    }
 
   private:
     ByteChannel *out_;

@@ -1,8 +1,10 @@
 #include "net/remote.h"
 
 #include <chrono>
+#include <memory>
 #include <stdexcept>
 
+#include "gc/instance.h"
 #include "gc/ot.h"
 #include "gc/ot_ext.h"
 #include "gc/streaming.h"
@@ -19,12 +21,14 @@ using Clock = std::chrono::steady_clock;
 constexpr uint64_t kSimBurnTag = 0x73696d5f6f74ull; // "sim_ot"
 
 /**
- * Circuit agreement check + OT parameters + segmenting, 37 bytes.
+ * Circuit agreement check + OT parameters + segmenting, 38 bytes.
  *
  * Wire layout (little-endian), which tests/test_net.cc parses when it
  * plays a hand-rolled peer: six u32 shape fields (offsets 0..23), the
  * shared sim-OT pad seed (offset 24, u64), segmentTables (offset 32,
- * u32), otMode (offset 36, u8: 0 = sim-ot, 1 = iknp).
+ * u32), otMode (offset 36, u8: 0 = sim-ot, 1 = iknp), otCached
+ * (offset 37, u8: 1 = this session reuses the connection's cached
+ * base-OT + IKNP setup and skips the base phase).
  *
  * The sim-OT seed is *fresh randomness*, not a derivation of the
  * garbling seed: the evaluator sees it in cleartext, and the old
@@ -43,8 +47,9 @@ struct Fingerprint
     uint64_t otSeed = 0;
     uint32_t segmentTables = 0;
     OtMode otMode = OtMode::Iknp;
+    bool otCached = false;
 
-    static constexpr size_t kBytes = 6 * 4 + 8 + 4 + 1;
+    static constexpr size_t kBytes = 6 * 4 + 8 + 4 + 1 + 1;
 
     static Fingerprint
     of(const Netlist &nl)
@@ -77,6 +82,7 @@ struct Fingerprint
             out[at++] = uint8_t(otSeed >> (8 * i));
         u32(segmentTables);
         out[at++] = otMode == OtMode::Iknp ? 1 : 0;
+        out[at++] = otCached ? 1 : 0;
     }
 
     static Fingerprint
@@ -102,6 +108,7 @@ struct Fingerprint
         fp.otSeed = seed;
         fp.segmentTables = u32();
         fp.otMode = in[at++] != 0 ? OtMode::Iknp : OtMode::Simulated;
+        fp.otCached = in[at++] != 0;
         return fp;
     }
 
@@ -133,13 +140,67 @@ clampSegment(uint32_t segment_tables)
     return segment_tables > 0 ? segment_tables : 1;
 }
 
-} // namespace
+/** Live garbling: labels and tables from a two-phase garbler. */
+struct LiveGarblerSource
+{
+    StreamingGarbler garbler;
 
+    LiveGarblerSource(const Netlist &netlist, uint64_t seed)
+        : garbler(netlist, seed)
+    {
+    }
+
+    Label
+    activeLabel(WireId w, bool value) const
+    {
+        return garbler.activeLabel(w, value);
+    }
+
+    void
+    emitTables(NetChannel &chan)
+    {
+        garbler.run([&](const GarbledTable &t) { chan.sendTable(t); });
+    }
+
+    bool decodeBit(size_t i) const { return garbler.decodeBit(i); }
+};
+
+/** Replay of a pre-garbled instance (gc/instance.h). */
+struct InstanceGarblerSource
+{
+    const GarbledInstance *instance;
+
+    Label
+    activeLabel(WireId w, bool value) const
+    {
+        return instance->activeLabel(w, value);
+    }
+
+    void
+    emitTables(NetChannel &chan)
+    {
+        for (const GarbledTable &t : instance->tables)
+            chan.sendTable(t);
+    }
+
+    bool decodeBit(size_t i) const { return instance->decodeBit(i); }
+};
+
+/**
+ * The garbler's protocol, parameterized over where labels and tables
+ * come from (a live StreamingGarbler or a captured GarbledInstance) —
+ * the wire traffic is identical either way.
+ *
+ * @param sim_burn_seed secret seed for sim-OT burn pads (unused under
+ *        IKNP); must never be derivable from on-wire values.
+ */
+template <typename Source>
 RemoteResult
-runRemoteGarbler(const Netlist &netlist,
-                 const std::vector<bool> &garbler_bits,
-                 Transport &transport, uint64_t seed,
-                 const RemoteOptions &opts)
+runGarblerFrom(const Netlist &netlist,
+               const std::vector<bool> &garbler_bits,
+               Transport &transport, Source &src,
+               uint64_t sim_burn_seed, bool pooled,
+               const RemoteOptions &opts)
 {
     if (garbler_bits.size() != netlist.numGarblerInputs)
         throw std::invalid_argument(
@@ -152,39 +213,60 @@ runRemoteGarbler(const Netlist &netlist,
     res.gates = netlist.numGates();
     res.segmentTables = segment_tables;
     res.otMode = opts.otMode;
+    res.pooledGarbling = pooled;
     NetChannel chan(transport, size_t(segment_tables) * kTableBytes);
+
+    const uint32_t eval_base = netlist.numGarblerInputs;
+    const uint32_t m = netlist.numEvaluatorInputs;
+
+    // Base-OT cache: reuse only when this connection already holds a
+    // ready extension sender (the first IKNP session populates it).
+    OtConnectionCache *ot_cache =
+        opts.otMode == OtMode::Iknp ? opts.otCache : nullptr;
+    const bool reuse_ot = ot_cache != nullptr &&
+                          ot_cache->sender != nullptr &&
+                          ot_cache->sender->ready() && m > 0;
+    res.otSetupReused = reuse_ot;
 
     // Fingerprint: agree on the circuit before any label moves.
     Fingerprint fp = Fingerprint::of(netlist);
     fp.otSeed = randomSeed();
     fp.segmentTables = segment_tables;
     fp.otMode = opts.otMode;
+    fp.otCached = reuse_ot;
     uint8_t fp_bytes[Fingerprint::kBytes];
     fp.serialize(fp_bytes);
     chan.sendBytes(fp_bytes, sizeof(fp_bytes));
     chan.flush();
     res.controlBytes += sizeof(fp_bytes);
 
-    StreamingGarbler garbler(netlist, seed);
-    const uint32_t eval_base = netlist.numGarblerInputs;
-    const uint32_t m = netlist.numEvaluatorInputs;
-
     if (opts.otMode == OtMode::Iknp) {
         // --- Real OT phase (before any other label traffic). ---
         size_t base = chan.bytesSent();
         const size_t uplink_base = chan.bytesReceived();
         if (m > 0) {
-            OtExtSender ot(chan, chan, otRandomKey());
-            ot.setup(); // blocks on the evaluator's base-OT key
+            std::unique_ptr<OtExtSender> fresh;
+            OtExtSender *ot = nullptr;
+            if (reuse_ot) {
+                ot_cache->sender->rebind(chan, chan);
+                ot = ot_cache->sender.get();
+            } else {
+                fresh = std::make_unique<OtExtSender>(chan, chan,
+                                                      otRandomKey());
+                fresh->setup(); // blocks on evaluator's base-OT key
+                ot = fresh.get();
+            }
             std::vector<Label> m0(m), m1(m);
             for (uint32_t i = 0; i < m; ++i) {
-                m0[i] = garbler.activeLabel(eval_base + i, false);
-                m1[i] = garbler.activeLabel(eval_base + i, true);
+                m0[i] = src.activeLabel(eval_base + i, false);
+                m1[i] = src.activeLabel(eval_base + i, true);
             }
-            ot.send(m0, m1);
+            ot->send(m0, m1);
+            if (ot_cache != nullptr && fresh != nullptr)
+                ot_cache->sender = std::move(fresh);
         }
         if (netlist.constOne != kNoWire)
-            chan.sendLabel(garbler.activeLabel(netlist.constOne, true));
+            chan.sendLabel(src.activeLabel(netlist.constOne, true));
         res.otBytes = chan.bytesSent() - base;
         res.otUplinkBytes = chan.bytesReceived() - uplink_base;
         chan.flush();
@@ -194,13 +276,13 @@ runRemoteGarbler(const Netlist &netlist,
         // must window the same frames).
         base = chan.bytesSent();
         for (uint32_t i = 0; i < netlist.numGarblerInputs; ++i)
-            chan.sendLabel(garbler.activeLabel(i, garbler_bits[i]));
+            chan.sendLabel(src.activeLabel(i, garbler_bits[i]));
         res.inputLabelBytes = chan.bytesSent() - base;
         chan.flush();
     } else {
         // --- Simulated OT: evaluator uplinks its choices in the
         // clear; pads come from the fingerprint's fresh shared seed,
-        // burns from a garbling-seed mix that never hits the wire. ---
+        // burns from a secret seed that never hits the wire. ---
         std::vector<uint8_t> choices(m);
         if (!choices.empty())
             chan.recvBytes(choices.data(), choices.size());
@@ -208,18 +290,18 @@ runRemoteGarbler(const Netlist &netlist,
 
         size_t base = chan.bytesSent();
         for (uint32_t i = 0; i < netlist.numGarblerInputs; ++i)
-            chan.sendLabel(garbler.activeLabel(i, garbler_bits[i]));
+            chan.sendLabel(src.activeLabel(i, garbler_bits[i]));
         res.inputLabelBytes = chan.bytesSent() - base;
 
         base = chan.bytesSent();
-        OtSender ot(chan, fp.otSeed, splitmix64(seed ^ kSimBurnTag));
+        OtSender ot(chan, fp.otSeed, sim_burn_seed);
         for (uint32_t i = 0; i < m; ++i) {
             const WireId wire = eval_base + i;
-            ot.send(garbler.activeLabel(wire, false),
-                    garbler.activeLabel(wire, true), choices[i] != 0);
+            ot.send(src.activeLabel(wire, false),
+                    src.activeLabel(wire, true), choices[i] != 0);
         }
         if (netlist.constOne != kNoWire)
-            chan.sendLabel(garbler.activeLabel(netlist.constOne, true));
+            chan.sendLabel(src.activeLabel(netlist.constOne, true));
         res.otBytes = chan.bytesSent() - base;
         chan.flush();
     }
@@ -227,7 +309,7 @@ runRemoteGarbler(const Netlist &netlist,
     // Table stream: one frame per segment of tables.
     size_t base = chan.bytesSent();
     const uint64_t frames_before = transport.framesSent();
-    garbler.run([&](const GarbledTable &t) { chan.sendTable(t); });
+    src.emitTables(chan);
     chan.flush();
     res.tableBytes = chan.bytesSent() - base;
     res.tableSegments = transport.framesSent() - frames_before;
@@ -235,7 +317,7 @@ runRemoteGarbler(const Netlist &netlist,
     // Output decode bits.
     base = chan.bytesSent();
     for (size_t i = 0; i < netlist.outputs.size(); ++i)
-        chan.sendBit(garbler.decodeBit(i));
+        chan.sendBit(src.decodeBit(i));
     res.outputDecodeBytes = chan.bytesSent() - base;
     chan.flush();
 
@@ -250,6 +332,39 @@ runRemoteGarbler(const Netlist &netlist,
     res.seconds = std::chrono::duration<double>(Clock::now() - start)
                       .count();
     return res;
+}
+
+} // namespace
+
+RemoteResult
+runRemoteGarbler(const Netlist &netlist,
+                 const std::vector<bool> &garbler_bits,
+                 Transport &transport, uint64_t seed,
+                 const RemoteOptions &opts)
+{
+    LiveGarblerSource src(netlist, seed);
+    return runGarblerFrom(netlist, garbler_bits, transport, src,
+                          splitmix64(seed ^ kSimBurnTag), false, opts);
+}
+
+RemoteResult
+runRemoteGarbler(const Netlist &netlist,
+                 const std::vector<bool> &garbler_bits,
+                 Transport &transport, const GarbledInstance &instance,
+                 const RemoteOptions &opts)
+{
+    if (instance.inputZero.size() != netlist.numInputs() ||
+        instance.outputZero.size() != netlist.outputs.size() ||
+        instance.tables.size() != netlist.numAndGates())
+        throw std::invalid_argument(
+            "runRemoteGarbler: instance does not match the netlist");
+    InstanceGarblerSource src{&instance};
+    // The instance's garbling seed is gone by design; sim-OT burn
+    // pads draw fresh entropy instead (they only need to be secret
+    // and unrelated to anything on the wire).
+    return runGarblerFrom(netlist, garbler_bits, transport, src,
+                          splitmix64(randomSeed() ^ kSimBurnTag), true,
+                          opts);
 }
 
 RemoteResult
@@ -285,17 +400,37 @@ runRemoteEvaluator(const Netlist &netlist,
     std::vector<Label> inputs(netlist.numInputs());
 
     if (remote_fp.otMode == OtMode::Iknp) {
-        // --- Real OT phase, mirroring the garbler. ---
+        // --- Real OT phase, mirroring the garbler. The fingerprint's
+        // otCached byte decides for both sides whether the base phase
+        // runs: a garbler reusing its cached extension sender would
+        // deadlock against a fresh receiver (and vice versa). ---
+        res.otSetupReused = remote_fp.otCached;
         const size_t uplink_base = chan.bytesSent();
         size_t base = chan.bytesReceived();
         if (m > 0) {
-            OtExtReceiver ot(chan, chan, otRandomKey());
-            ot.start();
-            ot.setup();
-            ot.sendChoices(evaluator_bits);
-            const std::vector<Label> labels = ot.receiveLabels();
+            OtConnectionCache *cache = opts.otCache;
+            std::unique_ptr<OtExtReceiver> fresh;
+            OtExtReceiver *ot = nullptr;
+            if (remote_fp.otCached) {
+                if (cache == nullptr || cache->receiver == nullptr ||
+                    !cache->receiver->ready())
+                    throw NetError("garbler expects a cached OT setup, "
+                                   "but this connection has none");
+                cache->receiver->rebind(chan, chan);
+                ot = cache->receiver.get();
+            } else {
+                fresh = std::make_unique<OtExtReceiver>(chan, chan,
+                                                        otRandomKey());
+                fresh->start();
+                fresh->setup();
+                ot = fresh.get();
+            }
+            ot->sendChoices(evaluator_bits);
+            const std::vector<Label> labels = ot->receiveLabels();
             for (uint32_t i = 0; i < m; ++i)
                 inputs[eval_base + i] = labels[i];
+            if (cache != nullptr && fresh != nullptr)
+                cache->receiver = std::move(fresh);
         }
         if (netlist.constOne != kNoWire)
             inputs[netlist.constOne] = chan.recvLabel();

@@ -3,8 +3,9 @@
  * The two-machine GC protocol: one side of runProtocol() per process.
  *
  * Both parties hold the same Netlist (the circuit is public; a
- * 37-byte fingerprint exchanged up front catches disagreement before
- * any label moves and carries the garbler's OT mode). The protocol
+ * 38-byte fingerprint exchanged up front catches disagreement before
+ * any label moves and carries the garbler's OT mode + base-OT cache
+ * decision). The protocol
  * then runs the OT phase — real base-OT + IKNP extension by default
  * (gc/ot_ext.h), the deterministic simulation under
  * OtMode::Simulated — after which the garbler streams input labels,
@@ -27,13 +28,39 @@
 #define HAAC_NET_REMOTE_H
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "circuit/netlist.h"
 #include "gc/ot.h"
+#include "gc/ot_ext.h"
 #include "net/transport.h"
 
 namespace haac {
+
+struct GarbledInstance;
+
+/**
+ * Per-connection OT-extension state for base-OT caching.
+ *
+ * The Chou-Orlandi base phase costs ~385 Curve25519 scalar
+ * multiplications and 4 KB of traffic per side; the IKNP extension it
+ * bootstraps handles any number of batches afterwards (column PRGs
+ * and the hash tweak base advance per batch). A caller that keeps one
+ * of these alive across sessions on a single connection pays the base
+ * phase once: the first IKNP session populates it, and every later
+ * session rebinds the endpoint to its own NetChannel and reuses the
+ * extension directly. The garbler announces reuse in the fingerprint
+ * (otCached byte), so both sides always agree on whether the base
+ * phase runs. Never share one cache across connections or threads —
+ * the two extension endpoints advance in lockstep only because
+ * sessions on one connection are sequential.
+ */
+struct OtConnectionCache
+{
+    std::unique_ptr<OtExtSender> sender;     ///< garbler side
+    std::unique_ptr<OtExtReceiver> receiver; ///< evaluator side
+};
 
 struct RemoteOptions
 {
@@ -46,6 +73,11 @@ struct RemoteOptions
      * simulation stays selectable for deterministic traffic tests.
      */
     OtMode otMode = OtMode::Iknp;
+    /**
+     * Borrowed per-connection OT cache (IKNP only); null runs the
+     * base-OT phase every session, the pre-cache behavior.
+     */
+    OtConnectionCache *otCache = nullptr;
 };
 
 /** One party's view of a completed remote execution. */
@@ -86,6 +118,11 @@ struct RemoteResult
     uint64_t gates = 0;
     double seconds = 0;
 
+    /** This session reused a cached base-OT + IKNP setup. */
+    bool otSetupReused = false;
+    /** Garbler replayed a pre-garbled instance (serve/pool.h). */
+    bool pooledGarbling = false;
+
     double
     gatesPerSecond() const
     {
@@ -101,6 +138,21 @@ struct RemoteResult
 RemoteResult runRemoteGarbler(const Netlist &netlist,
                               const std::vector<bool> &garbler_bits,
                               Transport &transport, uint64_t seed,
+                              const RemoteOptions &opts = {});
+
+/**
+ * Garbler's side replaying a pre-garbled @p instance (gc/instance.h)
+ * instead of garbling inline: labels and tables come from the
+ * capture, so the session-time cost is OT + streaming only. Traffic
+ * is byte-identical to the inline overload at the instance's seed.
+ *
+ * @p instance must have been captured from this exact @p netlist and
+ * must never be replayed twice (label reuse across sessions).
+ */
+RemoteResult runRemoteGarbler(const Netlist &netlist,
+                              const std::vector<bool> &garbler_bits,
+                              Transport &transport,
+                              const GarbledInstance &instance,
                               const RemoteOptions &opts = {});
 
 /**

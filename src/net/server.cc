@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "serve/pool.h"
 #include "shard/worker.h"
 #include "workloads/priorwork.h"
 
@@ -63,6 +64,13 @@ clientHello(Transport &transport, PeerRole self, const std::string &spec)
     if (peer != PeerRole::Server)
         return peer; // peer flavor: straight into the protocol
 
+    clientRequest(transport, spec);
+    return peer;
+}
+
+void
+clientRequest(Transport &transport, const std::string &spec)
+{
     std::vector<uint8_t> request(spec.begin(), spec.end());
     transport.sendFrame(request);
     const std::vector<uint8_t> ack = transport.recvFrame();
@@ -71,7 +79,6 @@ clientHello(Transport &transport, PeerRole self, const std::string &spec)
     const std::string message(ack.begin() + 1, ack.end());
     if (ack[0] == 0)
         throw NetError("server refused session: " + message);
-    return peer;
 }
 
 RunReport
@@ -101,6 +108,12 @@ makeRemoteReport(const RemoteResult &result, Role role,
     report.net.gatesPerSecond = result.gatesPerSecond();
     report.hasNet = true;
     report.hostSeconds = result.seconds;
+    report.gates = result.gates;
+    if (result.otSetupReused || result.pooledGarbling) {
+        report.serve.otSetupReused = result.otSetupReused;
+        report.serve.pooledGarbling = result.pooledGarbling;
+        report.hasServe = true;
+    }
     return report;
 }
 
@@ -239,9 +252,39 @@ GcServer::serveOne(Transport &transport, uint64_t session_id)
     if (client == PeerRole::Server)
         throw NetError("peer is also a server; no party would garble");
 
-    const std::vector<uint8_t> request = transport.recvFrame();
-    const std::string spec(request.begin(), request.end());
+    // One connection, many sessions: each iteration serves one
+    // workload-spec frame; the peer closing between sessions ends the
+    // connection cleanly. The base-OT cache lives exactly as long as
+    // the connection (see OtConnectionCache's doc for why).
+    OtConnectionCache ot_cache;
+    uint64_t sid = session_id;
+    for (uint64_t served = 0;; ++served) {
+        std::vector<uint8_t> request;
+        try {
+            request = transport.recvFrame();
+        } catch (const NetError &) {
+            if (served == 0)
+                throw; // closed before the first session: a failure
+            break;     // drained: the client is done with us
+        }
+        if (served > 0) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            sid = nextSessionId_++;
+        }
+        serveSession(transport, sid, client,
+                     std::string(request.begin(), request.end()),
+                     ot_cache);
+    }
 
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++totals_.connectionsServed;
+}
+
+void
+GcServer::serveSession(Transport &transport, uint64_t session_id,
+                       PeerRole client, const std::string &spec,
+                       OtConnectionCache &ot_cache)
+{
     auto ack = [&](bool ok, const std::string &message) {
         std::vector<uint8_t> frame;
         frame.reserve(1 + message.size());
@@ -250,34 +293,64 @@ GcServer::serveOne(Transport &transport, uint64_t session_id)
         transport.sendFrame(frame);
     };
 
-    Workload wl;
+    std::shared_ptr<const Workload> wl;
     try {
         if (spec.empty())
             throw NetError("this server requires a workload spec "
                            "(e.g. \"Million:32\")");
-        wl = resolveWorkload(spec);
+        wl = resolveCached(spec);
     } catch (const NetError &e) {
         ack(false, e.what());
         throw;
     }
-    ack(true, wl.name);
+    ack(true, wl->name);
 
     RemoteOptions ropts;
     ropts.segmentTables = opts_.segmentTables;
     ropts.otMode = opts_.otMode;
+    if (opts_.cacheBaseOt)
+        ropts.otCache = &ot_cache;
     const Role server_role = client == PeerRole::Garbler
                                  ? Role::Evaluator
                                  : Role::Garbler;
-    RemoteResult result =
-        server_role == Role::Garbler
-            ? runRemoteGarbler(wl.netlist, wl.garblerBits, transport,
-                               opts_.seedBase + session_id, ropts)
-            : runRemoteEvaluator(wl.netlist, wl.evaluatorBits,
-                                 transport, ropts);
+
+    // Garbler sessions prefer a pooled instance; a pool miss (or no
+    // pool) garbles inline with the deterministic per-session seed.
+    std::unique_ptr<GarbledInstance> pooled;
+    const bool pool_eligible =
+        opts_.pool != nullptr && server_role == Role::Garbler;
+    if (pool_eligible) {
+        opts_.pool->track(spec, wl->netlist);
+        pooled = opts_.pool->tryPop(spec);
+    }
+
+    RemoteResult result;
+    if (server_role == Role::Garbler) {
+        result = pooled != nullptr
+                     ? runRemoteGarbler(wl->netlist, wl->garblerBits,
+                                        transport, *pooled, ropts)
+                     : runRemoteGarbler(wl->netlist, wl->garblerBits,
+                                        transport,
+                                        opts_.seedBase + session_id,
+                                        ropts);
+    } else {
+        result = runRemoteEvaluator(wl->netlist, wl->evaluatorBits,
+                                    transport, ropts);
+    }
 
     RunReport report = makeRemoteReport(result, server_role, transport);
-    report.workload = wl.name;
+    report.workload = wl->name;
     report.label = "session-" + std::to_string(session_id);
+    if (opts_.pool != nullptr || opts_.cacheBaseOt) {
+        const serve::PoolStats ps = opts_.pool != nullptr
+                                        ? opts_.pool->stats()
+                                        : serve::PoolStats{};
+        report.serve.pooledGarbling = result.pooledGarbling;
+        report.serve.otSetupReused = result.otSetupReused;
+        report.serve.poolHits = ps.hits;
+        report.serve.poolMisses = ps.misses;
+        report.hasServe = true;
+    }
     // Serialize outside any lock; the sink has its own mutex so slow
     // report I/O never stalls the queue/totals lock the pool runs on.
     const std::string json = opts_.reports ? report.toJson() : "";
@@ -288,11 +361,33 @@ GcServer::serveOne(Transport &transport, uint64_t session_id)
         totals_.payloadBytes += result.totalBytes;
         totals_.gates += result.gates;
         totals_.sessionSeconds += result.seconds;
+        if (pool_eligible)
+            ++(pooled != nullptr ? totals_.poolHits
+                                 : totals_.poolMisses);
+        if (result.otSetupReused)
+            ++totals_.otSetupsReused;
     }
     if (opts_.reports) {
         std::lock_guard<std::mutex> lock(reportMutex_);
         *opts_.reports << json << "\n" << std::flush;
     }
+}
+
+std::shared_ptr<const Workload>
+GcServer::resolveCached(const std::string &spec)
+{
+    if (opts_.cacheWorkloads) {
+        std::lock_guard<std::mutex> lock(workloadMutex_);
+        auto it = workloadCache_.find(spec);
+        if (it != workloadCache_.end())
+            return it->second;
+    }
+    auto wl = std::make_shared<const Workload>(resolveWorkload(spec));
+    if (opts_.cacheWorkloads) {
+        std::lock_guard<std::mutex> lock(workloadMutex_);
+        workloadCache_.emplace(spec, wl);
+    }
+    return wl;
 }
 
 } // namespace haac

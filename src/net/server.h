@@ -19,6 +19,15 @@
  * (bytes, gates/s, wall time) — emitted as a JSON line to the
  * configured sink, so a fleet of sessions accumulates the same
  * trajectory format the benchmarks write.
+ *
+ * Connections are multi-session: after a session completes, the
+ * server waits for another workload-spec frame on the same connection
+ * (clientRequest() is the client half); the peer closing instead ends
+ * the connection cleanly. Repeat traffic is amortized by the serving
+ * layer (src/serve): a per-connection base-OT cache skips the
+ * Curve25519 base phase after the first session, a workload cache
+ * skips circuit re-synthesis, and an optional GarblePool lets garbler
+ * sessions replay pre-garbled instances instead of garbling inline.
  */
 #ifndef HAAC_NET_SERVER_H
 #define HAAC_NET_SERVER_H
@@ -26,6 +35,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <ostream>
@@ -40,6 +50,10 @@
 #include "workloads/vip.h"
 
 namespace haac {
+
+namespace serve {
+class GarblePool;
+}
 
 /**
  * Resolve a wire workload spec to a Workload.
@@ -64,13 +78,25 @@ Workload resolveWorkload(const std::string &spec);
 PeerRole clientHello(Transport &transport, PeerRole self,
                      const std::string &spec);
 
+/**
+ * Request one more session on an already-established server
+ * connection (spec frame + ack, no handshake). After it returns, run
+ * runRemoteGarbler/runRemoteEvaluator again with the role from the
+ * original clientHello().
+ */
+void clientRequest(Transport &transport, const std::string &spec);
+
 /** Package one party's RemoteResult as the standard RunReport. */
 RunReport makeRemoteReport(const RemoteResult &result, Role role,
                            const Transport &transport);
 
 struct ServerOptions
 {
-    /** Worker threads == maximum concurrent sessions. */
+    /**
+     * Worker threads == maximum concurrent connections. A connection
+     * occupies its worker until the client closes it (connections are
+     * multi-session), so size this to the expected client fleet.
+     */
     uint32_t threads = 4;
     /**
      * Serve shard-worker sessions (src/shard) instead of GC sessions:
@@ -90,6 +116,16 @@ struct ServerOptions
     std::ostream *reports = nullptr;
     /** Session-failure log sink (null = silent). */
     std::ostream *errors = nullptr;
+    /**
+     * Borrowed garble pool (serve/pool.h): garbler sessions replay a
+     * ready instance when one is queued, garbling inline on a miss.
+     * Must outlive the server; null garbles every session inline.
+     */
+    serve::GarblePool *pool = nullptr;
+    /** Resolve each workload spec once and reuse the circuit. */
+    bool cacheWorkloads = true;
+    /** Reuse each connection's base-OT + IKNP setup across sessions. */
+    bool cacheBaseOt = true;
 };
 
 class GcServer
@@ -122,8 +158,12 @@ class GcServer
     {
         uint64_t sessionsServed = 0;
         uint64_t sessionsFailed = 0;
+        uint64_t connectionsServed = 0; ///< connections fully drained
         uint64_t payloadBytes = 0; ///< garbler→evaluator protocol bytes
         uint64_t gates = 0;
+        uint64_t poolHits = 0;       ///< sessions served from the pool
+        uint64_t poolMisses = 0;     ///< pool on, but garbled inline
+        uint64_t otSetupsReused = 0; ///< sessions skipping base OT
         double sessionSeconds = 0; ///< summed per-session wall time
     };
     Totals totals() const;
@@ -131,9 +171,17 @@ class GcServer
   private:
     void workerLoop();
     void serveOne(Transport &transport, uint64_t session_id);
+    void serveSession(Transport &transport, uint64_t session_id,
+                      PeerRole client, const std::string &spec,
+                      OtConnectionCache &ot_cache);
+    std::shared_ptr<const Workload>
+    resolveCached(const std::string &spec);
 
     ServerOptions opts_;
     std::mutex reportMutex_; ///< guards only the reports sink
+    std::mutex workloadMutex_; ///< guards only workloadCache_
+    std::map<std::string, std::shared_ptr<const Workload>>
+        workloadCache_;
     mutable std::mutex mutex_;
     std::condition_variable wake_;  ///< workers: queue non-empty / stop
     std::condition_variable idle_;  ///< drain(): queue empty, none active

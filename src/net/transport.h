@@ -55,11 +55,12 @@ class Transport
   public:
     /**
      * Protocol version spoken by this build (hello.version).
-     * v2: 37-byte fingerprint (otMode byte) + the real-OT phase —
-     * mixed-version peers must fail the handshake, not desync
-     * mid-stream.
+     * v2: 37-byte fingerprint (otMode byte) + the real-OT phase.
+     * v3: 38-byte fingerprint (otCached byte) + multi-session
+     * connections with base-OT caching — mixed-version peers must
+     * fail the handshake, not desync mid-stream.
      */
-    static constexpr uint16_t kVersion = 2;
+    static constexpr uint16_t kVersion = 3;
     /** Refuse frames larger than this (corrupt/hostile length prefix). */
     static constexpr uint32_t kMaxFrameBytes = 1u << 30;
 

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * CompileCache: skip compile + reorder + stream generation on hot
+ * workloads.
+ *
+ * The ROADMAP's serving scenario runs the same circuits millions of
+ * times, but the compile pipeline (assemble -> reorder/rename/ESW ->
+ * per-GE stream generation, which itself runs the scheduling
+ * simulation) is recomputed per run and is deterministic in exactly
+ * three inputs: the netlist, the CompileOptions, and the HaacConfig.
+ * CompileCache keys on a content hash of all three and stores the
+ * complete compiled unit — HaacProgram, CompileStats, and the
+ * StreamSet reorder/issue schedule — so a Session replays a hot
+ * workload without touching the compiler.
+ *
+ * Key definition (see docs/ARCHITECTURE.md "The serving layer"): two
+ * independent 64-bit FNV-1a hashes over the canonical netlist
+ * serialization (shape fields, every gate, the output list) followed
+ * by every CompileOptions and schedule-affecting HaacConfig field,
+ * plus the circuit shape echoed in the clear. A false hit therefore
+ * requires a 128-bit hash collision between two circuits of identical
+ * shape — negligible for the honest workloads this layer serves (the
+ * hash is not cryptographic; a hostile circuit-upload front end would
+ * want the MMO hash from crypto/hash.h here).
+ */
+#ifndef HAAC_SERVE_COMPILE_CACHE_H
+#define HAAC_SERVE_COMPILE_CACHE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "circuit/netlist.h"
+#include "core/compiler/passes.h"
+#include "core/compiler/streams.h"
+#include "core/sim/config.h"
+#include "serve/cache.h"
+
+namespace haac {
+namespace serve {
+
+/** Content-hash cache key: netlist + CompileOptions + HaacConfig. */
+struct CompileKey
+{
+    uint64_t h1 = 0; ///< FNV-1a 64 of the canonical byte stream
+    uint64_t h2 = 0; ///< second FNV-1a pass, distinct basis/prime mix
+    /** @name Shape echo, compared exactly alongside the hashes */
+    /// @{
+    uint32_t gates = 0;
+    uint32_t garblerInputs = 0;
+    uint32_t evaluatorInputs = 0;
+    uint32_t outputs = 0;
+    /// @}
+
+    static CompileKey of(const Netlist &netlist,
+                         const CompileOptions &opts,
+                         const HaacConfig &config);
+
+    bool
+    operator==(const CompileKey &o) const
+    {
+        return h1 == o.h1 && h2 == o.h2 && gates == o.gates &&
+               garblerInputs == o.garblerInputs &&
+               evaluatorInputs == o.evaluatorInputs &&
+               outputs == o.outputs;
+    }
+};
+
+struct CompileKeyHash
+{
+    size_t
+    operator()(const CompileKey &k) const noexcept
+    {
+        return size_t(k.h1 ^ (k.h2 * 0x9e3779b97f4a7c15ull));
+    }
+};
+
+/** Everything the compile pipeline produces for one (circuit, config). */
+struct CompiledUnit
+{
+    HaacProgram program;
+    CompileStats stats;
+    StreamSet streams;
+};
+
+/**
+ * Thread-safe, LRU-bounded cache of CompiledUnits.
+ *
+ * Values are immutable once inserted and handed out as
+ * shared_ptr<const CompiledUnit>, so concurrent sessions can simulate
+ * from one cached unit while another session evicts it.
+ */
+class CompileCache
+{
+  public:
+    /** @param capacity maximum cached units (LRU beyond that). */
+    explicit CompileCache(size_t capacity = 64) : lru_(capacity) {}
+
+    /**
+     * The cached unit for this exact (netlist, options, config), or
+     * compile it now and cache the result.
+     *
+     * @param hit when non-null, set to whether the unit came from the
+     *        cache (the RunReport serve section reports it).
+     */
+    std::shared_ptr<const CompiledUnit>
+    compile(const Netlist &netlist, const CompileOptions &opts,
+            const HaacConfig &config, bool *hit = nullptr);
+
+    /** Lookup only (no compilation on miss). */
+    std::shared_ptr<const CompiledUnit>
+    get(const CompileKey &key)
+    {
+        return lru_.get(key);
+    }
+
+    void
+    put(const CompileKey &key, std::shared_ptr<const CompiledUnit> unit)
+    {
+        lru_.put(key, std::move(unit));
+    }
+
+    size_t size() const { return lru_.size(); }
+    size_t capacity() const { return lru_.capacity(); }
+    CacheStats stats() const { return lru_.stats(); }
+
+  private:
+    LruCache<CompileKey, CompiledUnit, CompileKeyHash> lru_;
+};
+
+} // namespace serve
+} // namespace haac
+
+#endif // HAAC_SERVE_COMPILE_CACHE_H

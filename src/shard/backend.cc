@@ -41,6 +41,7 @@ ShardedSimBackend::execute(const Session &session)
 
     report.sim = res.stats;
     report.hasSim = true;
+    report.gates = report.compile.instructions;
     report.energy = res.energy;
     report.hasEnergy = true;
     if (res.hasOutputs) {

@@ -563,8 +563,9 @@ runSimOtGarblerAgainstRawEvaluator(const Netlist &nl, uint64_t seed)
     NetChannel chan(*eend, 256);
     SimOtWireView view;
     // Fingerprint layout (remote.cc): six u32 shape fields, then the
-    // u64 sim-OT pad seed at offset 24, segmentTables, otMode byte.
-    uint8_t fp[37];
+    // u64 sim-OT pad seed at offset 24, segmentTables, otMode byte,
+    // otCached byte.
+    uint8_t fp[38];
     chan.recvBytes(fp, sizeof(fp));
     for (int i = 0; i < 8; ++i)
         view.otSeed |= uint64_t(fp[24 + i]) << (8 * i);
@@ -655,13 +656,89 @@ TEST(Remote, TamperedBaseOtKeyFailsTheGarbler)
     eend->handshake(PeerRole::Evaluator);
     {
         NetChannel chan(*eend, 256);
-        uint8_t fp[37];
+        uint8_t fp[38];
         chan.recvBytes(fp, sizeof(fp));
         uint8_t junk[32] = {2}; // off-curve encoding
         chan.sendBytes(junk, sizeof(junk));
         chan.flush();
     }
     eend.reset(); // hang up
+    garbler.join();
+}
+
+TEST(Remote, BaseOtCacheSkipsTheBasePhaseOnSessionTwo)
+{
+    // Two sequential sessions over one connection, both sides holding
+    // an OtConnectionCache: session two must skip the Chou-Orlandi
+    // base phase exactly — 4096 B of base-OT downlink (128 points of
+    // 32 B) and the 32 B evaluator seed-commit uplink — while staying
+    // bit-correct.
+    const Netlist nl = adderCircuit(8);
+    const std::vector<bool> gbits = u64ToBits(55, 8);
+    const std::vector<bool> ebits = u64ToBits(200, 8);
+    const std::vector<bool> expected = nl.evaluate(gbits, ebits);
+
+    auto [gend, eend] = LoopbackTransport::createPair();
+    OtConnectionCache gcache, ecache;
+    RemoteOptions gopts, eopts;
+    gopts.otCache = &gcache;
+    eopts.otCache = &ecache;
+
+    RemoteResult g1, g2;
+    PeerThread garbler([&, t = std::move(gend)] {
+        t->handshake(PeerRole::Garbler);
+        g1 = runRemoteGarbler(nl, gbits, *t, 11, gopts);
+        g2 = runRemoteGarbler(nl, gbits, *t, 12, gopts);
+    });
+    eend->handshake(PeerRole::Evaluator);
+    const RemoteResult e1 = runRemoteEvaluator(nl, ebits, *eend, eopts);
+    const RemoteResult e2 = runRemoteEvaluator(nl, ebits, *eend, eopts);
+    garbler.join();
+
+    EXPECT_EQ(e1.outputs, expected);
+    EXPECT_EQ(e2.outputs, expected);
+    EXPECT_EQ(g2.outputs, expected);
+
+    EXPECT_FALSE(g1.otSetupReused);
+    EXPECT_FALSE(e1.otSetupReused);
+    EXPECT_TRUE(g2.otSetupReused);
+    EXPECT_TRUE(e2.otSetupReused);
+
+    // The saved traffic is exactly the base phase, nothing else.
+    EXPECT_EQ(g2.otBytes, g1.otBytes - 4096);
+    EXPECT_EQ(g2.otUplinkBytes, g1.otUplinkBytes - 32);
+    EXPECT_EQ(e2.otBytes, e1.otBytes - 4096);
+    EXPECT_EQ(e2.otUplinkBytes, e1.otUplinkBytes - 32);
+    EXPECT_EQ(g2.tableBytes, g1.tableBytes);
+    EXPECT_EQ(g2.inputLabelBytes, g1.inputLabelBytes);
+}
+
+TEST(Remote, CachedGarblerRejectsACachelessEvaluator)
+{
+    // The garbler announces base-OT reuse in the fingerprint; an
+    // evaluator without the matching cached receiver state cannot run
+    // the extension and must refuse the session, not limp through it.
+    const Netlist nl = adderCircuit(4);
+    auto [gend, eend] = LoopbackTransport::createPair();
+    OtConnectionCache gcache, ecache;
+    RemoteOptions gopts, eopts;
+    gopts.otCache = &gcache;
+    eopts.otCache = &ecache;
+
+    PeerThread garbler([&, t = std::move(gend)] {
+        t->handshake(PeerRole::Garbler);
+        runRemoteGarbler(nl, u64ToBits(3, 4), *t, 1, gopts);
+        // Session two announces otCached; the evaluator bails before
+        // sending anything, so the garbler dies on the dead pipe.
+        EXPECT_THROW(
+            runRemoteGarbler(nl, u64ToBits(3, 4), *t, 2, gopts),
+            NetError);
+    });
+    eend->handshake(PeerRole::Evaluator);
+    runRemoteEvaluator(nl, u64ToBits(9, 4), *eend, eopts);
+    EXPECT_THROW(runRemoteEvaluator(nl, u64ToBits(9, 4), *eend, {}),
+                 NetError);
+    eend.reset(); // hang up so the garbler's second session unblocks
     garbler.join();
 }
 

@@ -99,6 +99,7 @@ TEST(GcServer, ServesOneSessionWithReportLine)
     clientHello(*client_end, PeerRole::Garbler, "Million:16");
     const RemoteResult res = runRemoteGarbler(
         wl.netlist, wl.garblerBits, *client_end, 77);
+    client_end.reset(); // connections are multi-session: close to end
     server.drain();
 
     EXPECT_EQ(res.outputs,
@@ -131,6 +132,7 @@ TEST(GcServer, ClientMayEvaluateToo)
     clientHello(*client_end, PeerRole::Evaluator, "Adder:8");
     const RemoteResult res = runRemoteEvaluator(
         wl.netlist, wl.evaluatorBits, *client_end);
+    client_end.reset();
     server.drain();
     EXPECT_EQ(res.outputs,
               wl.netlist.evaluate(wl.garblerBits, wl.evaluatorBits));
@@ -170,6 +172,7 @@ TEST(GcServer, RefusesBadSpecAndKeepsServing)
     clientHello(*client_end, PeerRole::Garbler, "Million:8");
     const RemoteResult res = runRemoteGarbler(
         wl.netlist, wl.garblerBits, *client_end, 3);
+    client_end.reset();
     server.drain();
 
     EXPECT_EQ(res.outputs,
@@ -205,11 +208,14 @@ TEST(GcServer, StressEightPlusConcurrentSessions)
         server.submit(std::move(server_end));
     }
 
+    // Each client owns its endpoint and closes it on completion —
+    // parked multi-session connections would otherwise pin all
+    // kWorkers workers and starve the remaining connections.
     std::atomic<uint32_t> ok{0};
     std::vector<std::unique_ptr<PeerThread>> clients;
     for (uint32_t i = 0; i < kSessions; ++i) {
         clients.push_back(std::make_unique<PeerThread>(
-            [i, &ok, &kSpecs, t = client_ends[i].get()] {
+            [i, &ok, &kSpecs, t = std::move(client_ends[i])] {
                 const std::string spec = kSpecs[i % 4];
                 const Workload wl = resolveWorkload(spec);
                 const std::vector<bool> expected = wl.netlist.evaluate(

@@ -25,10 +25,12 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <thread>
 
 #include "net/server.h"
 #include "net/tcp.h"
+#include "serve/pool.h"
 
 using namespace haac;
 
@@ -60,6 +62,13 @@ usage(const char *argv0)
         "  --sim-ot         use the simulated OT instead of the real "
         "IKNP extension\n"
         "                   (deterministic traffic; see DESIGN.md)\n"
+        "  --pool-depth N   keep N pre-garbled instances ready per "
+        "workload (default 0 = garble inline)\n"
+        "  --pool-threads N background garbling threads (default 1)\n"
+        "  --pool-low-water N refill only after a queue drains below "
+        "N (default 0 = always top up)\n"
+        "  --no-ot-cache    run the base-OT phase every session "
+        "instead of once per connection\n"
         "  --report-file F  append per-session RunReport JSON lines "
         "to F (default stdout)\n"
         "  --quiet          no per-session report lines\n"
@@ -84,6 +93,9 @@ main(int argc, char **argv)
     std::string report_file;
     std::string port_file;
     bool quiet = false;
+    size_t pool_depth = 0;
+    size_t pool_threads = 1;
+    size_t pool_low_water = 0;
     ServerOptions opts;
     opts.errors = &std::cerr;
 
@@ -117,6 +129,15 @@ main(int argc, char **argv)
             opts.seedBase = std::strtoull(value(), nullptr, 10);
         else if (arg == "--sim-ot")
             opts.otMode = OtMode::Simulated;
+        else if (arg == "--pool-depth")
+            pool_depth = size_t(std::strtoull(value(), nullptr, 10));
+        else if (arg == "--pool-threads")
+            pool_threads = size_t(std::strtoull(value(), nullptr, 10));
+        else if (arg == "--pool-low-water")
+            pool_low_water =
+                size_t(std::strtoull(value(), nullptr, 10));
+        else if (arg == "--no-ot-cache")
+            opts.cacheBaseOt = false;
         else if (arg == "--report-file")
             report_file = value();
         else if (arg == "--quiet")
@@ -173,6 +194,16 @@ main(int argc, char **argv)
             pf << listener.port() << "\n";
         }
 
+        std::unique_ptr<serve::GarblePool> pool;
+        if (pool_depth > 0) {
+            serve::PoolOptions popts;
+            popts.depth = pool_depth;
+            popts.threads = pool_threads;
+            popts.lowWater = pool_low_water;
+            pool = std::make_unique<serve::GarblePool>(popts);
+            opts.pool = pool.get();
+        }
+
         GcServer server(opts);
         if (max_sessions == 0) {
             server.serveTcp(listener); // until SIGINT/SIGTERM
@@ -185,13 +216,19 @@ main(int argc, char **argv)
 
         const GcServer::Totals totals = server.totals();
         std::fprintf(stderr,
-                     "served %llu sessions (%llu failed), %llu gates, "
-                     "%llu payload bytes, %.3f session-seconds\n",
+                     "served %llu sessions (%llu failed) on %llu "
+                     "connections, %llu gates, %llu payload bytes, "
+                     "%.3f session-seconds, pool %llu/%llu hit/miss, "
+                     "%llu OT setups reused\n",
                      (unsigned long long)totals.sessionsServed,
                      (unsigned long long)totals.sessionsFailed,
+                     (unsigned long long)totals.connectionsServed,
                      (unsigned long long)totals.gates,
                      (unsigned long long)totals.payloadBytes,
-                     totals.sessionSeconds);
+                     totals.sessionSeconds,
+                     (unsigned long long)totals.poolHits,
+                     (unsigned long long)totals.poolMisses,
+                     (unsigned long long)totals.otSetupsReused);
         return totals.sessionsFailed == 0 ? 0 : 1;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "haac_server: %s\n", e.what());
