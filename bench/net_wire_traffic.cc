@@ -104,7 +104,9 @@ main(int argc, char **argv)
                 "ProtocolResult accounting exactly; OT here is the "
                 "real base-OT + IKNP extension (OT = 4 KB of base "
                 "points + 32 B per evaluator bit down, OtUp = 32 B "
-                "key + 2 KB of masked columns per 128-bit block up); "
+                "key + 2 KB of masked columns per 128-bit block "
+                "including the KOS15 pad block + a 32 B consistency "
+                "proof per batch up); "
                 "framing adds 4 B per segment frame plus the 8 B "
                 "hello per direction.\n");
     return mismatches == 0 ? 0 : 1;

@@ -14,6 +14,7 @@
 #include <stdexcept>
 
 #include "api/session.h"
+#include "chain/link.h"
 #include "core/compiler/streams.h"
 #include "gc/protocol.h"
 #include "net/server.h"
@@ -213,11 +214,34 @@ RemoteGcBackend::execute(const Session &session)
                                       : PeerRole::Evaluator,
                 session.remoteSpec());
 
-    const Netlist &netlist = session.netlist();
     RemoteOptions ropts;
     ropts.segmentTables = session.segmentTables();
     ropts.otMode = session.otMode();
 
+    // A session carrying a chain plan runs the chained protocol
+    // instead of garbling/evaluating its (monolithic) netlist.
+    if (const chain::ChainPlan *plan = session.chainPlan()) {
+        chain::ChainResult result;
+        if (role == Role::Garbler) {
+            std::vector<bool> bits = session.garblerBits();
+            if (bits.empty())
+                bits.resize(plan->garblerInputs, false);
+            result = chain::runChainGarbler(*plan, bits, *transport,
+                                            session.seed(), ropts);
+        } else {
+            std::vector<bool> bits = session.evaluatorBits();
+            if (bits.empty())
+                bits.resize(plan->evaluatorInputs, false);
+            result = chain::runChainEvaluator(*plan, bits, *transport,
+                                              ropts);
+        }
+        RunReport report = makeChainReport(result, role, *transport);
+        report.config = session.config();
+        report.mode = session.mode();
+        return report;
+    }
+
+    const Netlist &netlist = session.netlist();
     RemoteResult result;
     if (role == Role::Garbler) {
         std::vector<bool> bits = session.garblerBits();

@@ -249,6 +249,16 @@ RunReport::toJson() const
         j.end();
     }
 
+    if (hasChain) {
+        j.begin("chain");
+        j.add("components", uint64_t(chain.components));
+        j.add("links", uint64_t(chain.links));
+        j.add("link_bytes", chain.linkBytes);
+        j.add("link_frames", uint64_t(chain.linkFrames));
+        j.add("pooled_components", uint64_t(chain.pooledComponents));
+        j.end();
+    }
+
     if (hasEnergy) {
         j.begin("energy");
         j.add("half_gate_j", energy.halfGateJ);

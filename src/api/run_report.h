@@ -148,6 +148,25 @@ struct RunReport
     bool hasServe = false;
     /// @}
 
+    /** @name Chained execution (src/chain: pre-garbled components) */
+    /// @{
+    struct Chain
+    {
+        /** Component instances linked into the session. */
+        uint32_t components = 0;
+        /** Label-translation tables shipped. */
+        uint32_t links = 0;
+        /** Link-table stream bytes (typed frames, headers included). */
+        uint64_t linkBytes = 0;
+        /** Frames the link-table stream used (one per linked node). */
+        uint32_t linkFrames = 0;
+        /** Components served pre-garbled from a ComponentPool. */
+        uint32_t pooledComponents = 0;
+    };
+    Chain chain;
+    bool hasChain = false;
+    /// @}
+
     /** Configuration echo, so a serialized report is self-describing. */
     HaacConfig config;
     SimMode mode = SimMode::Combined;

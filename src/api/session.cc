@@ -1,7 +1,9 @@
 #include "api/session.h"
 
+#include <stdexcept>
 #include <utility>
 
+#include "chain/link.h"
 #include "serve/compile_cache.h"
 #include "workloads/vip.h"
 
@@ -99,6 +101,20 @@ Session &
 Session::withOutputs(bool want)
 {
     wantOutputs_ = want;
+    return *this;
+}
+
+Session &
+Session::withChainPlan(const chain::ChainPlan &plan)
+{
+    const std::string err = plan.check();
+    if (!err.empty())
+        throw std::invalid_argument("chain plan \"" + plan.name +
+                                    "\": " + err);
+    chainPlan_ = std::make_shared<const chain::ChainPlan>(plan);
+    netlist_ = plan.monolithic();
+    if (!plan.name.empty())
+        name_ = plan.name;
     return *this;
 }
 

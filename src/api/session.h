@@ -20,6 +20,7 @@
 #define HAAC_API_SESSION_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,10 @@ struct Workload;
 
 namespace serve {
 class CompileCache;
+}
+
+namespace chain {
+struct ChainPlan;
 }
 
 class Session
@@ -97,6 +102,17 @@ class Session
      */
     Session &withOutputs(bool want);
     /**
+     * Chained execution (src/chain): adopt a component-chaining plan.
+     * The session's netlist becomes the plan's monolithic()
+     * equivalent, so the local backends (software-gc, haac-sim) run
+     * exactly the circuit a chained execution must match bit for bit,
+     * while the remote-gc backend switches to the chained protocol:
+     * the garbler links components garbled fresh from the session
+     * seed, the evaluator follows the link-table stream. Throws
+     * std::invalid_argument when the plan fails its own check().
+     */
+    Session &withChainPlan(const chain::ChainPlan &plan);
+    /**
      * Borrowed compile cache (src/serve): compile() and the
      * simulation backends answer repeat compiles of the same
      * (netlist, options, config) from it instead of re-running the
@@ -132,6 +148,8 @@ class Session
         return shardWorkers_;
     }
     serve::CompileCache *compileCache() const { return compileCache_; }
+    /** The adopted chain plan, or null for ordinary sessions. */
+    const chain::ChainPlan *chainPlan() const { return chainPlan_.get(); }
 
     /** Do the stored inputs match the circuit's input shape? */
     bool inputsMatchCircuit() const;
@@ -192,6 +210,7 @@ class Session
     uint32_t shards_ = 1;
     std::vector<std::string> shardWorkers_;
     serve::CompileCache *compileCache_ = nullptr;
+    std::shared_ptr<const chain::ChainPlan> chainPlan_;
 };
 
 } // namespace haac

@@ -11,6 +11,7 @@
 #include "core/sim/engine.h"
 #include "core/sim/functional.h"
 #include "crypto/prg.h"
+#include "shard/coordinator.h"
 
 namespace haac {
 
@@ -264,6 +265,105 @@ checkConformance(const HaacProgram &prog, const HaacConfig &cfg,
     return res;
 }
 
+ShardConformanceResult
+checkShardConformance(const HaacProgram &prog, const HaacConfig &cfg,
+                      uint32_t shards,
+                      const std::vector<bool> &garbler,
+                      const std::vector<bool> &evaluator)
+{
+    ShardConformanceResult res;
+
+    const std::string bad = prog.check();
+    if (!bad.empty()) {
+        res.error = "program fails check(): " + bad;
+        return res;
+    }
+
+    res.expected = executePlain(prog, garbler, evaluator);
+
+    // The coordinator clamps shards to [1, numGes]; a config drawn
+    // for the single-core sweep may carry fewer GEs than requested
+    // shards, and a silently-clamped 1-shard run would test nothing.
+    HaacConfig scfg = cfg;
+    scfg.numGes = std::max(scfg.numGes, shards);
+
+    shard::ShardOptions sopts;
+    sopts.shards = shards;
+    // Fuzz programs carry far deeper cross-shard dependency chains
+    // than compiled circuits, and the fixed point propagates one hop
+    // per round — the serving default of 8 rounds is not enough. The
+    // wire graph is acyclic, so instrs + 2 rounds always converge.
+    sopts.maxRounds =
+        std::max<uint32_t>(sopts.maxRounds,
+                           uint32_t(prog.instrs.size()) + 2);
+
+    shard::ShardRunResult r;
+    try {
+        r = shard::runSharded(prog, scfg, SimMode::Combined, sopts,
+                              garbler, evaluator,
+                              /*want_values=*/true);
+    } catch (const std::exception &ex) {
+        res.error = std::string("sharded run threw: ") + ex.what();
+        return res;
+    }
+
+    res.shards = r.shards;
+    res.rounds = r.rounds;
+    res.crossWires = r.crossWires;
+    res.cycles = r.stats.cycles;
+
+    if (r.shards != shards) {
+        res.error = "coordinator ran " + std::to_string(r.shards) +
+                    " of " + std::to_string(shards) +
+                    " requested shards";
+        return res;
+    }
+    if (!r.converged) {
+        res.error = "cross-shard schedule did not converge in " +
+                    std::to_string(r.rounds) + " rounds";
+        return res;
+    }
+
+    uint64_t retired = 0;
+    for (uint64_t n : r.shardInstructions)
+        retired += n;
+    if (retired != prog.instrs.size()) {
+        res.error = "shards retired " + std::to_string(retired) +
+                    " of " + std::to_string(prog.instrs.size()) +
+                    " instructions";
+        return res;
+    }
+    if (!prog.instrs.empty() && r.stats.cycles == 0) {
+        res.error = "sharded timing reported zero cycles";
+        return res;
+    }
+
+    if (!r.hasOutputs) {
+        res.error = "sharded run produced no output values";
+        return res;
+    }
+    if (r.outputs.size() != res.expected.size()) {
+        res.error = "sharded run returned " +
+                    std::to_string(r.outputs.size()) +
+                    " outputs, oracle has " +
+                    std::to_string(res.expected.size());
+        return res;
+    }
+    for (size_t i = 0; i < res.expected.size(); ++i) {
+        if (r.outputs[i] != res.expected[i]) {
+            std::ostringstream os;
+            os << "output " << i << " (wire w" << prog.outputs[i]
+               << "): sharded=" << r.outputs[i]
+               << " oracle=" << res.expected[i];
+            res.error = os.str();
+            return res;
+        }
+    }
+
+    res.ok = true;
+    return res;
+}
+
 FuzzSummary
 fuzzConformance(uint64_t seed, uint32_t count, const GenOptions &opts)
 {
@@ -301,6 +401,66 @@ fuzzConformance(uint64_t seed, uint32_t count, const GenOptions &opts)
             os << "; conformance failure: " << r.error << "\n";
             os << "; program seed: " << pseed << "\n";
             os << "; config: ges=" << cfg.numGes
+               << " sww_wires=" << cfg.swwWires()
+               << " banks_per_ge=" << cfg.banksPerGe
+               << " role=" << roleName(cfg.role)
+               << " forwarding=" << (cfg.forwarding ? 1 : 0)
+               << " queue_sram=" << cfg.queueSramBytes
+               << " write_buffer=" << cfg.writeBufferBytes
+               << " dram_latency=" << cfg.dramLatency << "\n";
+            os << toAsm(prog);
+            os << ".test garbler=" << bitString(g)
+               << " evaluator=" << bitString(e)
+               << " expect=" << bitString(r.expected) << "\n";
+            f.haacDump = os.str();
+            sum.failures.push_back(std::move(f));
+        }
+    }
+    return sum;
+}
+
+ShardFuzzSummary
+fuzzShardConformance(uint64_t seed, uint32_t count, uint32_t shards,
+                     const GenOptions &opts)
+{
+    constexpr size_t kMaxStoredFailures = 10;
+    ShardFuzzSummary sum;
+
+    for (uint32_t i = 0; i < count; ++i) {
+        // Same derivation as fuzzConformance: program i here is
+        // program i there, so a divergence that only shows up in this
+        // sweep isolates the sharded path.
+        const uint64_t pseed = splitmix64(seed + 0x9e3779b97f4a7c15ull * (i + 1));
+        const HaacConfig cfg = conformanceConfig(pseed);
+        const HaacProgram prog =
+            generateProgram(pseed, opts, cfg.swwWires());
+
+        Prg in(splitmix64(pseed ^ 0x484141434954ull)); // "HAACIT"
+        std::vector<bool> g(prog.numGarblerInputs);
+        std::vector<bool> e(prog.numEvaluatorInputs);
+        for (size_t j = 0; j < g.size(); ++j)
+            g[j] = in.nextBit();
+        for (size_t j = 0; j < e.size(); ++j)
+            e[j] = in.nextBit();
+
+        const ShardConformanceResult r =
+            checkShardConformance(prog, cfg, shards, g, e);
+        ++sum.programs;
+        sum.totalInstructions += prog.instrs.size();
+        sum.totalCrossWires += r.crossWires;
+        if (r.ok)
+            continue;
+
+        if (sum.failures.size() < kMaxStoredFailures) {
+            FuzzFailure f;
+            f.programSeed = pseed;
+            f.error = r.error;
+
+            std::ostringstream os;
+            os << "; shard conformance failure: " << r.error << "\n";
+            os << "; program seed: " << pseed << "\n";
+            os << "; shards: " << shards << "\n";
+            os << "; config: ges=" << std::max(cfg.numGes, shards)
                << " sww_wires=" << cfg.swwWires()
                << " banks_per_ge=" << cfg.banksPerGe
                << " role=" << roleName(cfg.role)

@@ -120,6 +120,58 @@ struct FuzzSummary
 FuzzSummary fuzzConformance(uint64_t seed, uint32_t count,
                             const GenOptions &opts = GenOptions{});
 
+/** Outcome of one sharded differential run. */
+struct ShardConformanceResult
+{
+    bool ok = false;
+    std::string error;
+
+    std::vector<bool> expected; ///< plaintext oracle
+    uint32_t shards = 0;        ///< shards that actually ran
+    uint32_t rounds = 0;        ///< timing rounds to the fixed point
+    uint64_t crossWires = 0;    ///< wires that hopped shards
+    uint64_t cycles = 0;        ///< slowest-shard Combined cycles
+};
+
+/**
+ * Differential check of the multi-core path (arc-4 follow-on to
+ * checkConformance): run @p prog through the plaintext oracle and
+ * through the shard coordinator at @p shards in-process workers —
+ * which drives runShardSimulation() per shard with real import/export
+ * cross-shard timing — and diff the assembled outputs wire-exact.
+ * Also checks shard telemetry sanity: the requested shard count ran,
+ * the cross-shard schedule converged, every instruction retired
+ * exactly once across shards, and cycles advance.
+ *
+ * The config's GE count is raised to @p shards when smaller (the
+ * coordinator clamps shards to [1, numGes], and a silent 1-shard run
+ * would test nothing).
+ */
+ShardConformanceResult
+checkShardConformance(const HaacProgram &prog, const HaacConfig &cfg,
+                      uint32_t shards,
+                      const std::vector<bool> &garbler,
+                      const std::vector<bool> &evaluator);
+
+struct ShardFuzzSummary
+{
+    uint64_t programs = 0;
+    uint64_t totalInstructions = 0;
+    /** Proof labels genuinely hopped shards across the sweep. */
+    uint64_t totalCrossWires = 0;
+    std::vector<FuzzFailure> failures; ///< capped at 10
+};
+
+/**
+ * Sharded fuzz sweep: generate @p count programs exactly as
+ * fuzzConformance does (same seed derivation, config, and inputs, so
+ * a divergence here and not there isolates the sharded path) and
+ * differentially check each at @p shards workers.
+ */
+ShardFuzzSummary
+fuzzShardConformance(uint64_t seed, uint32_t count, uint32_t shards,
+                     const GenOptions &opts = GenOptions{});
+
 /** Grader outcome for one hand-written .haac case. */
 struct AsmCaseResult
 {

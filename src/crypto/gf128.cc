@@ -1,0 +1,28 @@
+#include "crypto/gf128.h"
+
+namespace haac {
+
+Label
+gf128Mul(const Label &a, const Label &b)
+{
+    uint64_t alo = a.lo, ahi = a.hi;
+    uint64_t rlo = 0, rhi = 0;
+    for (int i = 0; i < 128; ++i) {
+        const bool bit =
+            ((i < 64 ? b.lo >> i : b.hi >> (i - 64)) & 1) != 0;
+        if (bit) {
+            rlo ^= alo;
+            rhi ^= ahi;
+        }
+        // a <<= 1 (mod the field polynomial): the x^128 overflow bit
+        // folds back in as x^7 + x^2 + x + 1 = 0x87.
+        const bool carry = (ahi >> 63) != 0;
+        ahi = (ahi << 1) | (alo >> 63);
+        alo <<= 1;
+        if (carry)
+            alo ^= 0x87;
+    }
+    return Label(rlo, rhi);
+}
+
+} // namespace haac

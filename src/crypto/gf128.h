@@ -1,0 +1,25 @@
+/**
+ * @file
+ * GF(2^128) multiplication for the KOS15 OT consistency check.
+ *
+ * The field is GF(2)[x] / (x^128 + x^7 + x^2 + x + 1) — the standard
+ * carryless-multiplication modulus — with a Label's bit i (bit i of
+ * lo for i < 64, of hi above) as the coefficient of x^i. The OT
+ * extension uses products chi_j * t_j purely as a universal hash over
+ * the receiver's correlation rows (gc/ot_ext.cc), so the bit-serial
+ * shift-and-add here is plenty: one multiply per extended OT row,
+ * amortized against 32 bytes of wire traffic each.
+ */
+#ifndef HAAC_CRYPTO_GF128_H
+#define HAAC_CRYPTO_GF128_H
+
+#include "crypto/label.h"
+
+namespace haac {
+
+/** a * b in GF(2^128), modulus x^128 + x^7 + x^2 + x + 1. */
+Label gf128Mul(const Label &a, const Label &b);
+
+} // namespace haac
+
+#endif // HAAC_CRYPTO_GF128_H

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "crypto/bitmatrix.h"
+#include "crypto/gf128.h"
 #include "crypto/hash.h"
 
 namespace haac {
@@ -16,10 +17,29 @@ namespace {
  */
 constexpr uint64_t kOtExtTweak = 0x4f5445585f000000ull; // "OTEX_"
 
+/** Tweak keying the Fiat-Shamir digest of the uplinked columns. */
+constexpr uint64_t kOtKosTweak = 0x4f544b4f53000000ull; // "OTKOS"
+
 size_t
 blocksFor(size_t count)
 {
     return (count + kOtExtColumns - 1) / kOtExtColumns;
+}
+
+/**
+ * Digest the uplinked column matrix into the chi-PRG key (Fiat-Shamir:
+ * both sides derive the KOS15 challenge from the transcript, so no
+ * extra round trip). Merkle-Damgard over the Davies-Meyer compression
+ * the rekeyed hasher already is.
+ */
+Label
+foldColumns(const std::vector<uint8_t> &u)
+{
+    const RekeyedHasher h(kOtKosTweak);
+    Label acc;
+    for (size_t off = 0; off < u.size(); off += kLabelBytes)
+        acc = h(acc ^ Label::fromBytes(u.data() + off));
+    return acc;
 }
 
 bool
@@ -92,8 +112,11 @@ OtExtSender::send(const std::vector<Label> &m0,
     if (m == 0)
         return;
 
-    const size_t blocks = blocksFor(m);
-    const size_t col_bytes = blocks * kLabelBytes;
+    // One extra all-random block of OTs per batch: the KOS15 proof
+    // reveals a random linear combination of the choice bits, and the
+    // padding rows statistically mask the real ones.
+    const size_t ext_blocks = blocksFor(m) + 1;
+    const size_t col_bytes = ext_blocks * kLabelBytes;
 
     // Receiver's masked columns, then this side's view q_i.
     std::vector<uint8_t> u(kOtExtColumns * col_bytes);
@@ -106,10 +129,29 @@ OtExtSender::send(const std::vector<Label> &m0,
             xorBytes(qi, u.data() + i * col_bytes, col_bytes);
     }
 
-    std::vector<Label> rows(blocks * kOtExtColumns);
-    for (size_t b = 0; b < blocks; ++b)
+    std::vector<Label> rows(ext_blocks * kOtExtColumns);
+    for (size_t b = 0; b < ext_blocks; ++b)
         transpose128Block(q.data() + b * kLabelBytes, col_bytes,
                           &rows[b * kOtExtColumns]);
+
+    // KOS15 consistency check: a receiver that used a different r in
+    // some column (the selective-failure probe IKNP permits) cannot
+    // produce (x, t~) with t~ == q~ ^ x*s except with probability
+    // 2^-128, because q_j = t_j ^ r_j*s only when r was global.
+    uint8_t proof[2 * kLabelBytes];
+    in_->recvBytes(proof, sizeof proof);
+    const Label x = Label::fromBytes(proof);
+    const Label t_tilde = Label::fromBytes(proof + kLabelBytes);
+    Prg chi(foldColumns(u));
+    Label q_tilde;
+    for (size_t j = 0; j < ext_blocks * kOtExtColumns; ++j) {
+        const Label chi_j(chi.nextU64(), chi.nextU64());
+        q_tilde ^= gf128Mul(chi_j, rows[j]);
+    }
+    if (t_tilde != (q_tilde ^ gf128Mul(x, s_)))
+        throw OtError(
+            "OtExtSender: KOS15 consistency check failed — receiver "
+            "used inconsistent choice bits across columns");
 
     // q_j = t_j ^ r_j*s, so H(j, q_j) masks m0 toward choice 0 and
     // H(j, q_j ^ s) masks m1 toward choice 1.
@@ -118,7 +160,7 @@ OtExtSender::send(const std::vector<Label> &m0,
         out_->sendLabel(m0[j] ^ h(rows[j]));
         out_->sendLabel(m1[j] ^ h(rows[j] ^ s_));
     }
-    tweakBase_ += blocks * kOtExtColumns;
+    tweakBase_ += ext_blocks * kOtExtColumns;
     out_->flush();
 }
 
@@ -167,11 +209,13 @@ OtExtReceiver::sendChoices(const std::vector<bool> &choices)
     if (m == 0)
         return;
 
-    const size_t blocks = blocksFor(m);
-    const size_t col_bytes = blocks * kLabelBytes;
+    // One extra all-random block (see send()): its rows enter the
+    // KOS15 proof but never carry labels. Block-boundary padding of
+    // the real blocks stays random too (those pad OTs are unused).
+    const size_t ext_blocks = blocksFor(m) + 1;
+    const size_t col_bytes = ext_blocks * kLabelBytes;
 
-    // Choice bits as a column, padded to the block boundary with
-    // random bits (the pad OTs are simply never used).
+    // Choice bits as a column; everything beyond bit m is random.
     std::vector<uint8_t> r(col_bytes);
     rng_.nextBytes(r.data(), r.size());
     for (size_t j = 0; j < m; ++j) {
@@ -193,12 +237,27 @@ OtExtReceiver::sendChoices(const std::vector<bool> &choices)
         xorBytes(ui, r.data(), col_bytes);
     }
     out_->sendBytes(u.data(), u.size());
-    out_->flush();
 
-    rows_.assign(blocks * kOtExtColumns, Label());
-    for (size_t b = 0; b < blocks; ++b)
+    rows_.assign(ext_blocks * kOtExtColumns, Label());
+    for (size_t b = 0; b < ext_blocks; ++b)
         transpose128Block(t.data() + b * kLabelBytes, col_bytes,
                           &rows_[b * kOtExtColumns]);
+
+    // KOS15 proof: x = sum of chi_j over set choice bits, and
+    // t~ = sum of chi_j * t_j in GF(2^128), over every extended row.
+    Prg chi(foldColumns(u));
+    Label x, t_tilde;
+    for (size_t j = 0; j < ext_blocks * kOtExtColumns; ++j) {
+        const Label chi_j(chi.nextU64(), chi.nextU64());
+        if ((r[j / 8] >> (j % 8)) & 1)
+            x ^= chi_j;
+        t_tilde ^= gf128Mul(chi_j, rows_[j]);
+    }
+    uint8_t proof[2 * kLabelBytes];
+    x.toBytes(proof);
+    t_tilde.toBytes(proof + kLabelBytes);
+    out_->sendBytes(proof, sizeof proof);
+    out_->flush();
     batchPending_ = true;
 }
 
@@ -222,7 +281,7 @@ OtExtReceiver::receiveLabels()
         const RekeyedHasher h(kOtExtTweak + tweakBase_ + j);
         labels[j] = (choices_[j] ? y1 : y0) ^ h(rows_[j]);
     }
-    tweakBase_ += blocksFor(m) * kOtExtColumns;
+    tweakBase_ += (blocksFor(m) + 1) * kOtExtColumns;
     batchPending_ = false;
     return labels;
 }

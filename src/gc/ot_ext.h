@@ -23,8 +23,20 @@
  *    the ciphertext its choice selects, and the other stays masked by
  *    H over a row offset by the secret s.
  *
- * Wire shape per batch (blocks = ceil(m/128)):
- *   receiver -> sender: 2048 * blocks bytes of masked columns
+ * Plain IKNP is only honest-but-curious: a receiver may use a
+ * *different* r in one column, turning the sender's response into a
+ * selective-failure probe of s. Each batch therefore carries the
+ * KOS15 consistency check (Keller-Orsini-Scholl '15): both sides
+ * derive challenges chi_j from a Fiat-Shamir digest of the uplinked
+ * columns, the receiver appends x = sum r_j*chi_j and
+ * t~ = sum chi_j*t_j (GF(2^128), crypto/gf128.h), and the sender
+ * verifies t~ == q~ ^ x*s — which holds only when one global r
+ * produced every column. One extra all-random block of OTs per batch
+ * masks the linear combination the proof reveals; a failed check
+ * throws before any label is masked.
+ *
+ * Wire shape per batch (blocks = ceil(m/128) + 1 for the KOS pad):
+ *   receiver -> sender: 2048 * blocks + 32 bytes (columns + proof)
  *   sender -> receiver: 32 * m bytes of masked label pairs
  * plus the one-time base phase (32 bytes up, 4096 down).
  *

@@ -3,6 +3,9 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "chain/link.h"
+#include "chain/workloads.h"
+#include "serve/component_pool.h"
 #include "serve/pool.h"
 #include "shard/worker.h"
 #include "workloads/priorwork.h"
@@ -112,6 +115,48 @@ makeRemoteReport(const RemoteResult &result, Role role,
     if (result.otSetupReused || result.pooledGarbling) {
         report.serve.otSetupReused = result.otSetupReused;
         report.serve.pooledGarbling = result.pooledGarbling;
+        report.hasServe = true;
+    }
+    return report;
+}
+
+RunReport
+makeChainReport(const chain::ChainResult &result, Role role,
+                const Transport &transport)
+{
+    RunReport report;
+    report.backend = "chain-gc";
+    report.outputs = result.outputs;
+    report.hasOutputs = true;
+    report.comm.tableBytes = result.tableBytes;
+    report.comm.inputLabelBytes = result.inputLabelBytes;
+    report.comm.otBytes = result.otBytes;
+    report.comm.otUplinkBytes = result.otUplinkBytes;
+    report.comm.outputDecodeBytes = result.outputDecodeBytes;
+    report.comm.totalBytes = result.totalBytes;
+    report.hasComm = true;
+    report.net.role = role;
+    report.net.endpoint = transport.describe();
+    report.net.rawBytesSent = transport.rawBytesSent();
+    report.net.rawBytesReceived = transport.rawBytesReceived();
+    report.net.controlBytes = result.controlBytes;
+    report.net.tableSegments = result.tableSegments;
+    report.net.segmentTables = result.segmentTables;
+    report.net.otMode = OtMode::Iknp; // chaining refuses sim-ot
+    report.net.gates = result.gates;
+    report.net.gatesPerSecond =
+        result.seconds > 0 ? double(result.gates) / result.seconds : 0;
+    report.hasNet = true;
+    report.chain.components = result.components;
+    report.chain.links = result.links;
+    report.chain.linkBytes = result.linkBytes;
+    report.chain.linkFrames = result.linkFrames;
+    report.chain.pooledComponents = result.pooledComponents;
+    report.hasChain = true;
+    report.hostSeconds = result.seconds;
+    report.gates = result.gates;
+    if (result.otSetupReused) {
+        report.serve.otSetupReused = true;
         report.hasServe = true;
     }
     return report;
@@ -271,9 +316,11 @@ GcServer::serveOne(Transport &transport, uint64_t session_id)
             std::lock_guard<std::mutex> lock(mutex_);
             sid = nextSessionId_++;
         }
-        serveSession(transport, sid, client,
-                     std::string(request.begin(), request.end()),
-                     ot_cache);
+        const std::string spec(request.begin(), request.end());
+        if (chain::isChainSpec(spec))
+            serveChainSession(transport, sid, client, spec, ot_cache);
+        else
+            serveSession(transport, sid, client, spec, ot_cache);
     }
 
     std::lock_guard<std::mutex> lock(mutex_);
@@ -373,6 +420,96 @@ GcServer::serveSession(Transport &transport, uint64_t session_id,
     }
 }
 
+void
+GcServer::serveChainSession(Transport &transport, uint64_t session_id,
+                            PeerRole client, const std::string &spec,
+                            OtConnectionCache &ot_cache)
+{
+    auto ack = [&](bool ok, const std::string &message) {
+        std::vector<uint8_t> frame;
+        frame.reserve(1 + message.size());
+        frame.push_back(ok ? 1 : 0);
+        frame.insert(frame.end(), message.begin(), message.end());
+        transport.sendFrame(frame);
+    };
+
+    std::shared_ptr<const chain::ChainWorkload> wl;
+    try {
+        if (opts_.otMode != OtMode::Iknp)
+            throw NetError("chained sessions require IKNP OT; this "
+                           "server is running simulated OT");
+        wl = resolveChainCached(spec);
+    } catch (const NetError &e) {
+        ack(false, e.what());
+        throw;
+    }
+    ack(true, wl->name);
+
+    RemoteOptions ropts;
+    ropts.segmentTables = opts_.segmentTables;
+    ropts.otMode = opts_.otMode;
+    if (opts_.cacheBaseOt)
+        ropts.otCache = &ot_cache;
+    const Role server_role = client == PeerRole::Garbler
+                                 ? Role::Evaluator
+                                 : Role::Garbler;
+
+    chain::ChainResult result;
+    if (server_role == Role::Garbler) {
+        // A pool serves pre-garbled components (misses garble inline
+        // inside the provider); without one, every component garbles
+        // fresh from a per-session seed stream. The chaining security
+        // contract (one garbling, one session) holds either way.
+        if (opts_.componentPool != nullptr) {
+            opts_.componentPool->trackPlan(wl->plan);
+            result = chain::runChainGarbler(
+                wl->plan, wl->garblerBits, transport,
+                opts_.componentPool->provider(), ropts);
+        } else {
+            const uint64_t seed_base =
+                opts_.seedBase == 0
+                    ? 0
+                    : splitmix64(opts_.seedBase ^ (session_id + 1));
+            result = chain::runChainGarbler(wl->plan, wl->garblerBits,
+                                            transport, seed_base,
+                                            ropts);
+        }
+    } else {
+        result = chain::runChainEvaluator(wl->plan, wl->evaluatorBits,
+                                          transport, ropts);
+    }
+
+    RunReport report = makeChainReport(result, server_role, transport);
+    report.workload = wl->name;
+    report.label = "session-" + std::to_string(session_id);
+    if (opts_.componentPool != nullptr) {
+        const serve::PoolStats ps = opts_.componentPool->stats();
+        report.serve.poolHits = ps.hits;
+        report.serve.poolMisses = ps.misses;
+        report.hasServe = true;
+    }
+    // Serialize outside any lock (see serveSession).
+    const std::string json = opts_.reports ? report.toJson() : "";
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++totals_.sessionsServed;
+        totals_.payloadBytes += result.totalBytes;
+        totals_.gates += result.gates;
+        totals_.sessionSeconds += result.seconds;
+        if (result.otSetupReused)
+            ++totals_.otSetupsReused;
+        ++totals_.chainSessions;
+        totals_.componentsLinked += result.components;
+        totals_.componentPoolHits += result.pooledComponents;
+        totals_.linkBytes += result.linkBytes;
+    }
+    if (opts_.reports) {
+        std::lock_guard<std::mutex> lock(reportMutex_);
+        *opts_.reports << json << "\n" << std::flush;
+    }
+}
+
 std::shared_ptr<const Workload>
 GcServer::resolveCached(const std::string &spec)
 {
@@ -386,6 +523,30 @@ GcServer::resolveCached(const std::string &spec)
     if (opts_.cacheWorkloads) {
         std::lock_guard<std::mutex> lock(workloadMutex_);
         workloadCache_.emplace(spec, wl);
+    }
+    return wl;
+}
+
+std::shared_ptr<const chain::ChainWorkload>
+GcServer::resolveChainCached(const std::string &spec)
+{
+    if (opts_.cacheWorkloads) {
+        std::lock_guard<std::mutex> lock(workloadMutex_);
+        auto it = chainCache_.find(spec);
+        if (it != chainCache_.end())
+            return it->second;
+    }
+    std::shared_ptr<const chain::ChainWorkload> wl;
+    try {
+        wl = std::make_shared<const chain::ChainWorkload>(
+            chain::resolveChainWorkload(spec));
+    } catch (const std::invalid_argument &e) {
+        throw NetError("unknown chain workload spec \"" + spec +
+                       "\": " + e.what());
+    }
+    if (opts_.cacheWorkloads) {
+        std::lock_guard<std::mutex> lock(workloadMutex_);
+        chainCache_.emplace(spec, wl);
     }
     return wl;
 }

@@ -53,6 +53,12 @@ namespace haac {
 
 namespace serve {
 class GarblePool;
+class ComponentPool;
+}
+
+namespace chain {
+struct ChainResult;
+struct ChainWorkload;
 }
 
 /**
@@ -90,6 +96,11 @@ void clientRequest(Transport &transport, const std::string &spec);
 RunReport makeRemoteReport(const RemoteResult &result, Role role,
                            const Transport &transport);
 
+/** Package one party's ChainResult (chain/link.h) as a RunReport
+ *  with the chain section filled in. */
+RunReport makeChainReport(const chain::ChainResult &result, Role role,
+                          const Transport &transport);
+
 struct ServerOptions
 {
     /**
@@ -122,6 +133,13 @@ struct ServerOptions
      * Must outlive the server; null garbles every session inline.
      */
     serve::GarblePool *pool = nullptr;
+    /**
+     * Borrowed component pool (serve/component_pool.h) for chained
+     * sessions ("Chain..." specs): garbler sessions link pre-garbled
+     * components, garbling any missing one inline. Must outlive the
+     * server; null garbles every component inline.
+     */
+    serve::ComponentPool *componentPool = nullptr;
     /** Resolve each workload spec once and reuse the circuit. */
     bool cacheWorkloads = true;
     /** Reuse each connection's base-OT + IKNP setup across sessions. */
@@ -164,6 +182,10 @@ class GcServer
         uint64_t poolHits = 0;       ///< sessions served from the pool
         uint64_t poolMisses = 0;     ///< pool on, but garbled inline
         uint64_t otSetupsReused = 0; ///< sessions skipping base OT
+        uint64_t chainSessions = 0;  ///< sessions served chained
+        uint64_t componentsLinked = 0; ///< components across them
+        uint64_t componentPoolHits = 0; ///< linked pre-garbled
+        uint64_t linkBytes = 0; ///< link-table stream bytes served
         double sessionSeconds = 0; ///< summed per-session wall time
     };
     Totals totals() const;
@@ -174,14 +196,21 @@ class GcServer
     void serveSession(Transport &transport, uint64_t session_id,
                       PeerRole client, const std::string &spec,
                       OtConnectionCache &ot_cache);
+    void serveChainSession(Transport &transport, uint64_t session_id,
+                           PeerRole client, const std::string &spec,
+                           OtConnectionCache &ot_cache);
     std::shared_ptr<const Workload>
     resolveCached(const std::string &spec);
+    std::shared_ptr<const chain::ChainWorkload>
+    resolveChainCached(const std::string &spec);
 
     ServerOptions opts_;
     std::mutex reportMutex_; ///< guards only the reports sink
     std::mutex workloadMutex_; ///< guards only workloadCache_
     std::map<std::string, std::shared_ptr<const Workload>>
         workloadCache_;
+    std::map<std::string, std::shared_ptr<const chain::ChainWorkload>>
+        chainCache_;
     mutable std::mutex mutex_;
     std::condition_variable wake_;  ///< workers: queue non-empty / stop
     std::condition_variable idle_;  ///< drain(): queue empty, none active

@@ -168,4 +168,37 @@ WireReader::expectEnd(const char *what) const
                        std::to_string(remaining()) + " trailing bytes");
 }
 
+std::vector<uint8_t>
+makeLinkTableFrame(uint32_t node, uint32_t count, const uint8_t *tables,
+                   size_t table_bytes)
+{
+    WireWriter w;
+    w.u8(kLinkTableFrameKind);
+    w.u32(node);
+    w.u32(count);
+    std::vector<uint8_t> frame = w.take();
+    frame.insert(frame.end(), tables, tables + table_bytes);
+    return frame;
+}
+
+LinkTableFrame
+parseLinkTableFrame(const std::vector<uint8_t> &frame)
+{
+    if (frame.size() < kLinkTableFrameHeaderBytes)
+        throw NetError("link-table frame: truncated header");
+    WireReader r(frame);
+    if (r.u8() != kLinkTableFrameKind)
+        throw NetError("link-table frame: wrong frame kind");
+    LinkTableFrame out;
+    out.node = r.u32();
+    out.count = r.u32();
+    out.payloadOffset = kLinkTableFrameHeaderBytes;
+    const size_t payload = frame.size() - out.payloadOffset;
+    if (payload != size_t(out.count) * 32)
+        throw NetError("link-table frame: payload is " +
+                       std::to_string(payload) + " bytes for " +
+                       std::to_string(out.count) + " tables");
+    return out;
+}
+
 } // namespace haac

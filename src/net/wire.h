@@ -96,6 +96,43 @@ class WireReader
     size_t pos_ = 0;
 };
 
+/**
+ * @name Link-table stream frames (chain/link.h)
+ *
+ * The chained-garbling protocol interleaves two streams on one
+ * transport: component tables ride the NetChannel segment framing,
+ * and each linked node's label-translation tables travel as one typed
+ * frame sent between channel flushes. The kind byte keeps a desynced
+ * peer failing loudly at the decode boundary instead of feeding link
+ * rows into the table stream.
+ *
+ * Layout: u8 kind, u32 node, u32 count, then count * 32 B of
+ * translation-table rows (kLinkTableFrameHeaderBytes of header).
+ */
+/// @{
+inline constexpr uint8_t kLinkTableFrameKind = 0x4c; // 'L'
+inline constexpr size_t kLinkTableFrameHeaderBytes = 1 + 4 + 4;
+
+/** Assemble one link-table frame around pre-serialized table rows. */
+std::vector<uint8_t> makeLinkTableFrame(uint32_t node, uint32_t count,
+                                        const uint8_t *tables,
+                                        size_t table_bytes);
+
+struct LinkTableFrame
+{
+    uint32_t node = 0;
+    uint32_t count = 0;
+    /** Offset of the first table byte within the frame. */
+    size_t payloadOffset = 0;
+};
+
+/**
+ * Validate kind, header, and payload size (32 B per table).
+ * @throws NetError on any mismatch.
+ */
+LinkTableFrame parseLinkTableFrame(const std::vector<uint8_t> &frame);
+/// @}
+
 } // namespace haac
 
 #endif // HAAC_NET_WIRE_H

@@ -233,6 +233,96 @@ TEST(Fuzz, InjectedLiveBitClearIsCaught)
     FAIL() << "no seed in [0,200) OoR-read an instruction output";
 }
 
+// --- The sharded sweep ---------------------------------------------
+
+TEST(ShardFuzz, ShardedTimingVsOracleAtTwoAndFourWorkers)
+{
+    // The multi-core leg of the differential harness: every program
+    // runs through the shard coordinator (real import/export timing
+    // via runShardSimulation) and must reproduce the oracle outputs
+    // wire-exact. Smaller count than the single-core sweep — each
+    // program spawns M worker threads — but env-tunable the same way.
+    const uint64_t seed = envU64("HAAC_CONFORMANCE_SEED", 1337);
+    const uint32_t count =
+        uint32_t(envU64("HAAC_SHARD_CONFORMANCE_COUNT", 60));
+
+    for (uint32_t shards : {2u, 4u}) {
+        SCOPED_TRACE("shards=" + std::to_string(shards));
+        const ShardFuzzSummary sum =
+            fuzzShardConformance(seed, count, shards);
+        EXPECT_EQ(sum.programs, count);
+
+        for (const FuzzFailure &f : sum.failures) {
+            const std::string path =
+                "shard_conformance_fail_" +
+                std::to_string(f.programSeed) + "_m" +
+                std::to_string(shards) + ".haac";
+            std::ofstream(path) << f.haacDump;
+            ADD_FAILURE()
+                << "seed " << f.programSeed << ": " << f.error
+                << " (dumped to " << path << ")";
+        }
+        EXPECT_TRUE(sum.failures.empty())
+            << sum.failures.size() << " of " << count
+            << " programs diverged at " << shards
+            << " shards (root seed " << seed << ")";
+
+        // The sweep must genuinely cross shard boundaries: a run
+        // where no wire ever hopped would be M independent machines,
+        // not the multi-core path.
+        EXPECT_GT(sum.totalCrossWires, 0u);
+    }
+}
+
+TEST(ShardFuzz, ReportsTelemetryAndRaisesGeCount)
+{
+    // One concrete program end to end: telemetry populated, the
+    // 1-GE config raised to the shard count rather than silently
+    // clamped, and the diff wire-exact.
+    const uint64_t seed = 11;
+    HaacConfig cfg = conformanceConfig(seed);
+    cfg.numGes = 1; // force the raise path
+    GenOptions opts;
+    opts.minInstrs = 64;
+    const HaacProgram prog =
+        generateProgram(seed, opts, cfg.swwWires());
+
+    Prg in(splitmix64(seed));
+    std::vector<bool> g(prog.numGarblerInputs);
+    std::vector<bool> e(prog.numEvaluatorInputs);
+    for (size_t j = 0; j < g.size(); ++j)
+        g[j] = in.nextBit();
+    for (size_t j = 0; j < e.size(); ++j)
+        e[j] = in.nextBit();
+
+    const ShardConformanceResult r =
+        checkShardConformance(prog, cfg, 2, g, e);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.shards, 2u);
+    EXPECT_GE(r.rounds, 1u);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_EQ(r.expected.size(), prog.outputs.size());
+}
+
+TEST(ShardFuzz, IllFormedProgramIsRefused)
+{
+    HaacProgram prog;
+    prog.numGarblerInputs = 1;
+    prog.numEvaluatorInputs = 1;
+    prog.numInputs = 2;
+    HaacInstruction ins;
+    ins.op = HaacOp::And;
+    ins.a = 5; // forward reference: fails check()
+    ins.b = 1;
+    prog.instrs.push_back(ins);
+    prog.outputs.push_back(prog.outputAddrOf(0));
+
+    const ShardConformanceResult r = checkShardConformance(
+        prog, conformanceConfig(1), 2, {true}, {false});
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("check()"), std::string::npos) << r.error;
+}
+
 // --- Grader mode over the checked-in corpus ------------------------
 
 TEST(Grader, CheckedInCorpusPasses)

@@ -215,7 +215,9 @@ TEST(Protocol, TrafficAccounting)
     EXPECT_EQ(real.inputLabelBytes, res.inputLabelBytes);
     EXPECT_EQ(real.otBytes,
               128 * 32 + 8 * 2 * kLabelBytes + kLabelBytes);
-    EXPECT_EQ(real.otUplinkBytes, 32u + 128 * kLabelBytes);
+    // Base public key + two masked column blocks (the real block and
+    // the KOS15 pad) + the 32-byte consistency proof.
+    EXPECT_EQ(real.otUplinkBytes, 32u + 2 * 128 * kLabelBytes + 32u);
     EXPECT_EQ(real.totalBytes,
               real.tableBytes + real.inputLabelBytes + real.otBytes +
                   real.outputDecodeBytes);

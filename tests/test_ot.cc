@@ -331,7 +331,10 @@ TEST(OtExt, WireShapeIsExact)
         m1[i] = prg.nextLabel();
     }
     ot.transfer(m0, m1, std::vector<bool>(m, true));
-    EXPECT_EQ(ot.chan.toGarbler.bytesSent() - up_setup, 2 * 2048u);
+    // Two real column blocks + the KOS15 pad block, then the 32-byte
+    // consistency proof.
+    EXPECT_EQ(ot.chan.toGarbler.bytesSent() - up_setup,
+              3 * 2048u + 32u);
     EXPECT_EQ(ot.chan.toEvaluator.bytesSent() - down_setup,
               m * 2 * kLabelBytes);
     EXPECT_EQ(ot.chan.toGarbler.pending(), 0u);
@@ -409,6 +412,84 @@ TEST(OtExt, TamperedBaseKeyFailsTheSetup)
     uint8_t junk[32] = {2}; // off-curve encoding
     chan.toGarbler.sendBytes(junk, sizeof(junk));
     EXPECT_THROW(sender.setup(), OtError);
+}
+
+namespace {
+
+/** Channel that flips one bit of the stream at a fixed byte offset. */
+class BitFlipChannel : public Channel
+{
+  public:
+    explicit BitFlipChannel(size_t flip_at) : flipAt_(flip_at) {}
+
+  protected:
+    void
+    writeBytes(const uint8_t *data, size_t n) override
+    {
+        std::vector<uint8_t> copy(data, data + n);
+        if (flipAt_ >= written_ && flipAt_ < written_ + n)
+            copy[flipAt_ - written_] ^= 1;
+        written_ += n;
+        Channel::writeBytes(copy.data(), n);
+    }
+
+  private:
+    size_t flipAt_;
+    size_t written_ = 0;
+};
+
+} // namespace
+
+TEST(OtExt, Kos15RejectsInconsistentReceiverColumns)
+{
+    // Flipping one bit of one uplinked column block is exactly the
+    // malicious-receiver move the KOS15 check exists to catch: it is
+    // equivalent to using a different choice vector r in that column,
+    // which plain IKNP would turn into a selective-failure probe of
+    // the sender's secret s. Offset 32 skips the base-OT public key,
+    // so the flip lands inside the first batch's masked columns.
+    BitFlipChannel to_garbler(32 + 100);
+    Channel to_evaluator;
+    OtExtSender sender(to_evaluator, to_garbler, 21);
+    OtExtReceiver receiver(to_garbler, to_evaluator, 22);
+    receiver.start();
+    sender.setup();
+    receiver.setup();
+
+    Prg prg(23);
+    const size_t m = 8;
+    std::vector<Label> m0(m), m1(m);
+    for (size_t i = 0; i < m; ++i) {
+        m0[i] = prg.nextLabel();
+        m1[i] = prg.nextLabel();
+    }
+    receiver.sendChoices(std::vector<bool>(m, false));
+    EXPECT_THROW(sender.send(m0, m1), OtError);
+}
+
+TEST(OtExt, Kos15RejectsTamperedProof)
+{
+    // Corrupting the proof itself must fail too. Per batch the uplink
+    // is 2048 * (blocks + 1) column bytes then the 32-byte proof, so
+    // for m = 8 (one real block + the pad) the proof starts at
+    // 32 + 4096.
+    BitFlipChannel to_garbler(32 + 4096 + 7);
+    Channel to_evaluator;
+    OtExtSender sender(to_evaluator, to_garbler, 31);
+    OtExtReceiver receiver(to_garbler, to_evaluator, 32);
+    receiver.start();
+    sender.setup();
+    receiver.setup();
+
+    Prg prg(33);
+    const size_t m = 8;
+    std::vector<Label> m0(m), m1(m);
+    for (size_t i = 0; i < m; ++i) {
+        m0[i] = prg.nextLabel();
+        m1[i] = prg.nextLabel();
+    }
+    receiver.sendChoices(std::vector<bool>(m, true));
+    EXPECT_THROW(sender.send(m0, m1), OtError);
 }
 
 TEST(OtExt, TruncatedStreamFailsLoudly)

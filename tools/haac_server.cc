@@ -28,8 +28,10 @@
 #include <memory>
 #include <thread>
 
+#include "chain/workloads.h"
 #include "net/server.h"
 #include "net/tcp.h"
+#include "serve/component_pool.h"
 #include "serve/pool.h"
 
 using namespace haac;
@@ -67,6 +69,15 @@ usage(const char *argv0)
         "  --pool-threads N background garbling threads (default 1)\n"
         "  --pool-low-water N refill only after a queue drains below "
         "N (default 0 = always top up)\n"
+        "  --component-pool N keep N pre-garbled instances ready per "
+        "standard component for chained\n"
+        "                   sessions (\"Chain...\" specs; default 0 = "
+        "garble components inline);\n"
+        "                   shares --pool-threads / --pool-low-water\n"
+        "  --chain-prewarm SPEC track a chain workload's components "
+        "and fill their queues before\n"
+        "                   accepting (e.g. ChainProdCmp:32; repeat "
+        "for more; needs --component-pool)\n"
         "  --no-ot-cache    run the base-OT phase every session "
         "instead of once per connection\n"
         "  --report-file F  append per-session RunReport JSON lines "
@@ -96,6 +107,8 @@ main(int argc, char **argv)
     size_t pool_depth = 0;
     size_t pool_threads = 1;
     size_t pool_low_water = 0;
+    size_t component_pool_depth = 0;
+    std::vector<std::string> chain_prewarm;
     ServerOptions opts;
     opts.errors = &std::cerr;
 
@@ -136,6 +149,11 @@ main(int argc, char **argv)
         else if (arg == "--pool-low-water")
             pool_low_water =
                 size_t(std::strtoull(value(), nullptr, 10));
+        else if (arg == "--component-pool")
+            component_pool_depth =
+                size_t(std::strtoull(value(), nullptr, 10));
+        else if (arg == "--chain-prewarm")
+            chain_prewarm.push_back(value());
         else if (arg == "--no-ot-cache")
             opts.cacheBaseOt = false;
         else if (arg == "--report-file")
@@ -204,6 +222,31 @@ main(int argc, char **argv)
             opts.pool = pool.get();
         }
 
+        std::unique_ptr<serve::ComponentPool> component_pool;
+        if (component_pool_depth > 0) {
+            serve::PoolOptions popts;
+            popts.depth = component_pool_depth;
+            popts.threads = pool_threads;
+            popts.lowWater = pool_low_water;
+            component_pool =
+                std::make_unique<serve::ComponentPool>(popts);
+            opts.componentPool = component_pool.get();
+            for (const std::string &spec : chain_prewarm)
+                component_pool->trackPlan(
+                    chain::resolveChainWorkload(spec).plan);
+            if (!chain_prewarm.empty()) {
+                component_pool->prewarm();
+                std::fprintf(stderr,
+                             "component pool warm for %zu chain "
+                             "workload(s)\n",
+                             chain_prewarm.size());
+            }
+        } else if (!chain_prewarm.empty()) {
+            std::fprintf(stderr,
+                         "--chain-prewarm needs --component-pool\n");
+            return 2;
+        }
+
         GcServer server(opts);
         if (max_sessions == 0) {
             server.serveTcp(listener); // until SIGINT/SIGTERM
@@ -219,7 +262,9 @@ main(int argc, char **argv)
                      "served %llu sessions (%llu failed) on %llu "
                      "connections, %llu gates, %llu payload bytes, "
                      "%.3f session-seconds, pool %llu/%llu hit/miss, "
-                     "%llu OT setups reused\n",
+                     "%llu OT setups reused, %llu chained "
+                     "(%llu/%llu components pooled, %llu link "
+                     "bytes)\n",
                      (unsigned long long)totals.sessionsServed,
                      (unsigned long long)totals.sessionsFailed,
                      (unsigned long long)totals.connectionsServed,
@@ -228,7 +273,11 @@ main(int argc, char **argv)
                      totals.sessionSeconds,
                      (unsigned long long)totals.poolHits,
                      (unsigned long long)totals.poolMisses,
-                     (unsigned long long)totals.otSetupsReused);
+                     (unsigned long long)totals.otSetupsReused,
+                     (unsigned long long)totals.chainSessions,
+                     (unsigned long long)totals.componentPoolHits,
+                     (unsigned long long)totals.componentsLinked,
+                     (unsigned long long)totals.linkBytes);
         return totals.sessionsFailed == 0 ? 0 : 1;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "haac_server: %s\n", e.what());
