@@ -84,7 +84,7 @@ runBestReorder(const Workload &wl, const HaacConfig &cfg, bool esw)
     return rf.sim.cycles <= rs.sim.cycles ? rf : rs;
 }
 
-RunLog::RunLog(const Options &opts, std::string bench_name)
+RunLog::RunLog(const Options &opts, const std::string &bench_name)
     : enabled_(opts.json), path_("BENCH_" + bench_name + ".json")
 {
 }

@@ -66,7 +66,7 @@ RunReport runBestReorder(const Workload &wl, const HaacConfig &cfg,
 class RunLog
 {
   public:
-    RunLog(const Options &opts, std::string bench_name);
+    RunLog(const Options &opts, const std::string &bench_name);
     ~RunLog();
 
     /** Record one run (label lands in RunReport::label). */

@@ -1,9 +1,11 @@
 #include "api/session.h"
 
+#include <cassert>
 #include <stdexcept>
 #include <utility>
 
 #include "chain/link.h"
+#include "circuit/analyze.h"
 #include "serve/compile_cache.h"
 #include "workloads/vip.h"
 
@@ -143,15 +145,42 @@ Session::compile() const
 {
     CompileOptions opts = copts_;
     opts.swwWires = config_.swwWires();
+
+    // Pre-compile admission: the circuit-level analogue of the
+    // post-compile ISA verify in compileProgram, same Debug/Release
+    // contract. All analyzer error codes are structural, so the deep
+    // (warning) passes are skipped here.
+#ifndef NDEBUG
+    const bool check = true;
+#else
+    const bool check = opts.verify;
+#endif
+    if (check) {
+        CircuitLintOptions lint;
+        lint.warnings = false;
+        lint.deep = false;
+        const CircuitLintReport rep = analyzeNetlist(netlist_, lint);
+        assert(rep.clean() && "session holds an ill-formed netlist");
+        if (!rep.clean())
+            throw std::logic_error(
+                "Session::compile: circuit analyzer rejected the "
+                "netlist (" +
+                rep.summary() + "): " + rep.firstError());
+    }
+
     Compiled out;
     if (compileCache_ != nullptr) {
         const auto unit =
             compileCache_->compile(netlist_, opts, config_);
         out.program = unit->program;
         out.stats = unit->stats;
-        return out;
+    } else {
+        out.program =
+            compileProgram(assemble(netlist_), opts, &out.stats);
     }
-    out.program = compileProgram(assemble(netlist_), opts, &out.stats);
+    const CircuitCost cost = circuitCost(netlist_);
+    out.stats.multDepth = cost.multDepth;
+    out.stats.freeXorPercent = cost.freeXorPercent;
     return out;
 }
 

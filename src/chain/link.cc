@@ -3,6 +3,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "circuit/analyze.h"
 #include "crypto/hash.h"
 #include "crypto/prg.h"
 #include "gc/streaming.h"
@@ -15,14 +16,6 @@ namespace chain {
 namespace {
 
 using Clock = std::chrono::steady_clock;
-
-/**
- * Hash tweak base for link-table rows. Garbling tweaks are dense near
- * zero, base OT uses "BOT_" (0x424f54...), the IKNP extension "OTEX_"
- * (0x4f5445...): the "CLNK" prefix keeps link encryption in its own
- * domain, offset by the plan-global link index.
- */
-constexpr uint64_t kChainLinkTweak = 0x434c4e4b00000000ull; // "CLNK"
 
 /**
  * Chain-session agreement check, the chained analogue of remote.cc's
@@ -194,82 +187,25 @@ ChainPlan::totalGates() const
 std::string
 ChainPlan::check() const
 {
-    if (nodes.empty())
-        return "chain plan has no nodes";
-    if (nodes.size() > kMaxChainNodes)
-        return "chain plan exceeds " + std::to_string(kMaxChainNodes) +
-               " nodes";
-    if (sources.size() != nodes.size())
-        return "chain plan has " + std::to_string(sources.size()) +
-               " source lists for " + std::to_string(nodes.size()) +
-               " nodes";
-    if (garblerInputs > kMaxChainInputs ||
-        evaluatorInputs > kMaxChainInputs)
-        return "chain plan declares more than " +
-               std::to_string(kMaxChainInputs) + " inputs per party";
-    for (size_t n = 0; n < nodes.size(); ++n) {
-        const std::string err = nodes[n].check();
-        if (!err.empty())
-            return "node " + std::to_string(n) + ": " + err;
-        if (sources[n].size() != nodes[n].inputBits())
-            return "node " + std::to_string(n) + " (" +
-                   nodes[n].name() + ") takes " +
-                   std::to_string(nodes[n].inputBits()) +
-                   " input bits but the plan wires " +
-                   std::to_string(sources[n].size());
-        for (size_t i = 0; i < sources[n].size(); ++i) {
-            const InputSource &s = sources[n][i];
-            const std::string port = "node " + std::to_string(n) +
-                                     " input " + std::to_string(i);
-            switch (s.kind) {
-            case SourceKind::Garbler:
-                if (s.index >= garblerInputs)
-                    return port + ": garbler input " +
-                           std::to_string(s.index) + " out of range (" +
-                           std::to_string(garblerInputs) + " declared)";
-                break;
-            case SourceKind::Evaluator:
-                if (s.index >= evaluatorInputs)
-                    return port + ": evaluator input " +
-                           std::to_string(s.index) + " out of range (" +
-                           std::to_string(evaluatorInputs) +
-                           " declared)";
-                break;
-            case SourceKind::Link:
-                if (s.from.node >= n)
-                    return port + ": links node " +
-                           std::to_string(s.from.node) +
-                           ", which is not an earlier node (plans are "
-                           "topologically ordered)";
-                if (s.from.bit >= nodes[s.from.node].outputBits())
-                    return port + ": links output bit " +
-                           std::to_string(s.from.bit) + " of " +
-                           nodes[s.from.node].name() + ", which has " +
-                           std::to_string(
-                               nodes[s.from.node].outputBits()) +
-                           " outputs";
-                break;
-            case SourceKind::Zero:
-            case SourceKind::One:
-                break;
-            default:
-                return port + ": unknown source kind";
-            }
-        }
-    }
-    if (outputs.empty())
-        return "chain plan has no outputs";
-    for (size_t i = 0; i < outputs.size(); ++i) {
-        const PortRef &ref = outputs[i];
-        if (ref.node >= nodes.size())
-            return "output " + std::to_string(i) + ": node " +
-                   std::to_string(ref.node) + " out of range";
-        if (ref.bit >= nodes[ref.node].outputBits())
-            return "output " + std::to_string(i) + ": bit " +
-                   std::to_string(ref.bit) + " out of range for " +
-                   nodes[ref.node].name();
-    }
-    return "";
+    // The structural half of the circuit analyzer, first violation
+    // only. deep must stay false: the deep pass flattens through
+    // monolithic(), which re-validates through this very function.
+    CircuitLintOptions opts;
+    opts.warnings = false;
+    opts.deep = false;
+    return analyzeChainPlan(*this, opts).firstError();
+}
+
+std::vector<uint64_t>
+planLinkTweaks(const ChainPlan &plan)
+{
+    std::vector<uint64_t> tweaks;
+    tweaks.reserve(plan.numLinks());
+    for (const auto &node : plan.sources)
+        for (const InputSource &s : node)
+            if (s.kind == SourceKind::Link)
+                tweaks.push_back(linkTweakOf(tweaks.size()));
+    return tweaks;
 }
 
 uint64_t
@@ -379,7 +315,7 @@ buildLinkTable(const Label &producer_zero, const Label &producer_offset,
                const Label &consumer_zero, const Label &consumer_offset,
                uint64_t link_index)
 {
-    const RekeyedHasher h(kChainLinkTweak + link_index);
+    const RekeyedHasher h(linkTweakOf(link_index));
     const Label y1 = producer_zero ^ producer_offset;
     const Label x1 = consumer_zero ^ consumer_offset;
     LinkTable t;
@@ -392,7 +328,7 @@ Label
 translateLinkLabel(const LinkTable &table, const Label &producer_active,
                    uint64_t link_index)
 {
-    const RekeyedHasher h(kChainLinkTweak + link_index);
+    const RekeyedHasher h(linkTweakOf(link_index));
     return table.row[producer_active.lsb() ? 1 : 0] ^ h(producer_active);
 }
 

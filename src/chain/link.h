@@ -114,6 +114,24 @@ inline constexpr uint32_t kMaxChainNodes = 1u << 16;
 inline constexpr uint32_t kMaxChainInputs = 1u << 20;
 
 /**
+ * Hash-tweak domain base for link-table rows. Garbling tweaks are
+ * dense near zero, base OT uses "BOT_" (0x424f54...), the IKNP
+ * extension "OTEX_" (0x4f5445...): the "CLNK" prefix keeps link
+ * encryption in its own domain, offset by the plan-global link index.
+ * The analyzer (circuit/analyze.h) proves every session tweak stays
+ * inside this domain and is used exactly once.
+ */
+inline constexpr uint64_t kChainLinkTweakBase =
+    0x434c4e4b00000000ull; // "CLNK"
+
+/** The tweak keying link ordinal @p link_index. */
+constexpr uint64_t
+linkTweakOf(uint64_t link_index)
+{
+    return kChainLinkTweakBase + link_index;
+}
+
+/**
  * A chaining plan: component DAG + wiring + output selection.
  *
  * Nodes are topologically ordered by construction: a Link source may
@@ -197,6 +215,14 @@ Label translateLinkLabel(const LinkTable &table,
 std::vector<LinkTable>
 buildLinkTables(const ChainPlan &plan,
                 const std::vector<const GarbledComponent *> &components);
+
+/**
+ * Every hash tweak a chained session will use, in plan-global link
+ * order: linkTweakOf(0 .. numLinks()-1). This is the assignment the
+ * analyzer audits for reuse/domain violations; tests inject corrupted
+ * copies through CircuitLintOptions::linkTweaks.
+ */
+std::vector<uint64_t> planLinkTweaks(const ChainPlan &plan);
 
 /** One component handed to the protocol, with its provenance. */
 struct AcquiredComponent

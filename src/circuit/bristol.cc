@@ -15,10 +15,25 @@ fail(const std::string &msg)
     throw std::runtime_error("bristol: " + msg);
 }
 
-} // namespace
+/** Record one parse-level diagnostic into an attached report. */
+void
+attach(CircuitLintReport *lints, CircuitLintCode code, uint32_t site,
+       WireId wire, std::string msg)
+{
+    if (lints == nullptr)
+        return;
+    CircuitDiag d;
+    d.code = code;
+    d.severity = CircuitSeverity::Error;
+    d.site = site;
+    d.wire = wire;
+    d.message = std::move(msg);
+    lints->diags.push_back(std::move(d));
+    ++lints->errors;
+}
 
 Netlist
-readBristol(std::istream &in)
+readBristolImpl(std::istream &in, CircuitLintReport *lints)
 {
     uint64_t ngates = 0, nwires = 0;
     if (!(in >> ngates >> nwires))
@@ -72,9 +87,21 @@ readBristol(std::istream &in)
         map[w] = WireId(w);
 
     const uint32_t base = nl.numInputs();
-    for (const RawGate &rg : raw) {
+    for (size_t gi = 0; gi < raw.size(); ++gi) {
+        const RawGate &rg = raw[gi];
         if (rg.a >= nwires || rg.b >= nwires || rg.out >= nwires)
             fail("wire index out of range");
+        // A second definition of a file wire: the map overwrite below
+        // silently retargets every later reader to this gate (last
+        // definition wins) — exactly the miscompile the lint surfaces.
+        if (map[rg.out] != kNoWire)
+            attach(lints, CircuitLintCode::MultiplyDriven,
+                   uint32_t(gi), WireId(rg.out),
+                   "file wire " + std::to_string(rg.out) +
+                       " is driven again by " + rg.op + " gate " +
+                       std::to_string(gi) +
+                       " — later readers silently rebind to the "
+                       "last definition");
         const WireId a = map[rg.a];
         if (a == kNoWire)
             fail("gate reads an undefined wire (not topologically sorted)");
@@ -110,7 +137,31 @@ readBristol(std::istream &in)
     const std::string err = nl.check();
     if (!err.empty())
         fail("canonicalization failed: " + err);
+
+    if (lints != nullptr) {
+        const CircuitLintReport rep = analyzeNetlist(nl);
+        for (const CircuitDiag &d : rep.diags)
+            lints->diags.push_back(d);
+        lints->errors += rep.errors;
+        lints->warnings += rep.warnings;
+        lints->notes += rep.notes;
+        lints->cost = rep.cost;
+    }
     return nl;
+}
+
+} // namespace
+
+Netlist
+readBristol(std::istream &in)
+{
+    return readBristolImpl(in, nullptr);
+}
+
+Netlist
+readBristol(std::istream &in, CircuitLintReport *lints)
+{
+    return readBristolImpl(in, lints);
 }
 
 Netlist
@@ -123,10 +174,26 @@ readBristolFile(const std::string &path)
 }
 
 Netlist
+readBristolFile(const std::string &path, CircuitLintReport *lints)
+{
+    std::ifstream f(path);
+    if (!f)
+        fail("cannot open " + path);
+    return readBristol(f, lints);
+}
+
+Netlist
 readBristolString(const std::string &text)
 {
     std::istringstream ss(text);
     return readBristol(ss);
+}
+
+Netlist
+readBristolString(const std::string &text, CircuitLintReport *lints)
+{
+    std::istringstream ss(text);
+    return readBristol(ss, lints);
 }
 
 void

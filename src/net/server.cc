@@ -1,10 +1,13 @@
 #include "net/server.h"
 
 #include <cstdlib>
+#include <sstream>
 #include <stdexcept>
 
 #include "chain/link.h"
 #include "chain/workloads.h"
+#include "circuit/bristol.h"
+#include "net/wire.h"
 #include "serve/component_pool.h"
 #include "serve/pool.h"
 #include "shard/worker.h"
@@ -33,6 +36,22 @@ splitSpec(const std::string &spec, std::string &name, uint32_t &arg)
                        "\": bad size argument \"" + tail + "\"");
     arg = uint32_t(v);
     return true;
+}
+
+/**
+ * The declared gate count, straight off the Bristol header, without
+ * parsing anything else. readBristol reserves storage for this many
+ * gates up front, so a hostile header must be capped before the
+ * parser ever sees the text.
+ */
+uint64_t
+bristolHeaderGates(const std::string &text)
+{
+    std::istringstream ss(text);
+    uint64_t ngates = 0;
+    if (!(ss >> ngates))
+        throw NetError("uploaded netlist: missing Bristol header");
+    return ngates;
 }
 
 } // namespace
@@ -82,6 +101,18 @@ clientRequest(Transport &transport, const std::string &spec)
     const std::string message(ack.begin() + 1, ack.end());
     if (ack[0] == 0)
         throw NetError("server refused session: " + message);
+}
+
+void
+clientUploadRequest(Transport &transport, const std::string &bristol)
+{
+    transport.sendFrame(makeNetlistUploadFrame(bristol));
+    const std::vector<uint8_t> ack = transport.recvFrame();
+    if (ack.empty())
+        throw NetError("server sent an empty session ack");
+    const std::string message(ack.begin() + 1, ack.end());
+    if (ack[0] == 0)
+        throw NetError("server refused upload: " + message);
 }
 
 RunReport
@@ -316,6 +347,11 @@ GcServer::serveOne(Transport &transport, uint64_t session_id)
             std::lock_guard<std::mutex> lock(mutex_);
             sid = nextSessionId_++;
         }
+        if (isNetlistUploadFrame(request)) {
+            serveUploadSession(transport, sid, client, request,
+                               ot_cache);
+            continue;
+        }
         const std::string spec(request.begin(), request.end());
         if (chain::isChainSpec(spec))
             serveChainSession(transport, sid, client, spec, ot_cache);
@@ -411,6 +447,98 @@ GcServer::serveSession(Transport &transport, uint64_t session_id,
         if (pool_eligible)
             ++(pooled != nullptr ? totals_.poolHits
                                  : totals_.poolMisses);
+        if (result.otSetupReused)
+            ++totals_.otSetupsReused;
+    }
+    if (opts_.reports) {
+        std::lock_guard<std::mutex> lock(reportMutex_);
+        *opts_.reports << json << "\n" << std::flush;
+    }
+}
+
+void
+GcServer::serveUploadSession(Transport &transport, uint64_t session_id,
+                             PeerRole client,
+                             const std::vector<uint8_t> &frame,
+                             OtConnectionCache &ot_cache)
+{
+    auto ack = [&](bool ok, const std::string &message) {
+        std::vector<uint8_t> reply;
+        reply.reserve(1 + message.size());
+        reply.push_back(ok ? 1 : 0);
+        reply.insert(reply.end(), message.begin(), message.end());
+        transport.sendFrame(reply);
+    };
+
+    // The admission gate. Everything in this block runs before a
+    // single label is derived: header cap, parse, analyzer verdict,
+    // canonical-size re-check. Refusal kills the session (and the
+    // connection, like a refused spec) with the diagnostic acked back.
+    Netlist nl;
+    try {
+        const std::string text = parseNetlistUploadFrame(frame);
+        const uint64_t declared = bristolHeaderGates(text);
+        if (declared > opts_.maxGates)
+            throw NetError("uploaded netlist declares " +
+                           std::to_string(declared) +
+                           " gates; this server admits at most " +
+                           std::to_string(opts_.maxGates));
+        CircuitLintReport lints;
+        nl = readBristolString(text, &lints);
+        if (!lints.clean())
+            throw NetError(
+                "uploaded netlist refused by the circuit analyzer (" +
+                lints.summary() + "): " + lints.firstError());
+        if (nl.numGates() > opts_.maxGates)
+            throw NetError("uploaded netlist canonicalizes to " +
+                           std::to_string(nl.numGates()) +
+                           " gates; this server admits at most " +
+                           std::to_string(opts_.maxGates));
+    } catch (const std::exception &e) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++totals_.uploadsRefused;
+        }
+        ack(false, e.what());
+        throw NetError(e.what());
+    }
+    ack(true, "netlist:" + std::to_string(nl.numGates()));
+
+    RemoteOptions ropts;
+    ropts.segmentTables = opts_.segmentTables;
+    ropts.otMode = opts_.otMode;
+    if (opts_.cacheBaseOt)
+        ropts.otCache = &ot_cache;
+    const Role server_role = client == PeerRole::Garbler
+                                 ? Role::Evaluator
+                                 : Role::Garbler;
+
+    // The server has no stake in a circuit it has never seen: its own
+    // inputs are all zero, and nothing about an upload is pooled or
+    // cached (each one is assumed unique).
+    RemoteResult result;
+    if (server_role == Role::Garbler) {
+        const std::vector<bool> bits(nl.numGarblerInputs, false);
+        result = runRemoteGarbler(nl, bits, transport,
+                                  opts_.seedBase + session_id, ropts);
+    } else {
+        const std::vector<bool> bits(nl.numEvaluatorInputs, false);
+        result = runRemoteEvaluator(nl, bits, transport, ropts);
+    }
+
+    RunReport report = makeRemoteReport(result, server_role, transport);
+    report.workload = "uploaded-netlist";
+    report.label = "session-" + std::to_string(session_id);
+    // Serialize outside any lock (see serveSession).
+    const std::string json = opts_.reports ? report.toJson() : "";
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++totals_.sessionsServed;
+        ++totals_.uploadSessions;
+        totals_.payloadBytes += result.totalBytes;
+        totals_.gates += result.gates;
+        totals_.sessionSeconds += result.seconds;
         if (result.otSetupReused)
             ++totals_.otSetupsReused;
     }

@@ -92,6 +92,20 @@ PeerRole clientHello(Transport &transport, PeerRole self,
  */
 void clientRequest(Transport &transport, const std::string &spec);
 
+/**
+ * Request a session over a client-supplied circuit instead of a
+ * registry spec: ships @p bristol (old Bristol format) as a
+ * netlist-upload frame and waits for the admission verdict. A refusal
+ * — gate cap exceeded, parse failure, or circuit-analyzer errors —
+ * surfaces as NetError carrying the server's diagnostic, before the
+ * server spends any garbling work. On success, run the remote
+ * protocol with the role from clientHello(); the server plays the
+ * opposite role with all-zero inputs (it has no stake in an uploaded
+ * circuit's data).
+ */
+void clientUploadRequest(Transport &transport,
+                         const std::string &bristol);
+
 /** Package one party's RemoteResult as the standard RunReport. */
 RunReport makeRemoteReport(const RemoteResult &result, Role role,
                            const Transport &transport);
@@ -144,6 +158,14 @@ struct ServerOptions
     bool cacheWorkloads = true;
     /** Reuse each connection's base-OT + IKNP setup across sessions. */
     bool cacheBaseOt = true;
+    /**
+     * Admission cap for uploaded netlists: the declared Bristol gate
+     * count is checked against this *before* the text is parsed (so a
+     * hostile header cannot even make the parser reserve memory), and
+     * the canonicalized gate count is re-checked after. The transport
+     * frame bound (kMaxFrameBytes) caps the text itself.
+     */
+    uint32_t maxGates = 1u << 22;
 };
 
 class GcServer
@@ -186,6 +208,9 @@ class GcServer
         uint64_t componentsLinked = 0; ///< components across them
         uint64_t componentPoolHits = 0; ///< linked pre-garbled
         uint64_t linkBytes = 0; ///< link-table stream bytes served
+        uint64_t uploadSessions = 0; ///< uploaded netlists served
+        /** Uploads the admission gate refused (cap or analyzer). */
+        uint64_t uploadsRefused = 0;
         double sessionSeconds = 0; ///< summed per-session wall time
     };
     Totals totals() const;
@@ -199,6 +224,10 @@ class GcServer
     void serveChainSession(Transport &transport, uint64_t session_id,
                            PeerRole client, const std::string &spec,
                            OtConnectionCache &ot_cache);
+    void serveUploadSession(Transport &transport, uint64_t session_id,
+                            PeerRole client,
+                            const std::vector<uint8_t> &frame,
+                            OtConnectionCache &ot_cache);
     std::shared_ptr<const Workload>
     resolveCached(const std::string &spec);
     std::shared_ptr<const chain::ChainWorkload>

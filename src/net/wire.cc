@@ -201,4 +201,31 @@ parseLinkTableFrame(const std::vector<uint8_t> &frame)
     return out;
 }
 
+std::vector<uint8_t>
+makeNetlistUploadFrame(const std::string &bristol)
+{
+    WireWriter w;
+    w.u8(kNetlistUploadFrameKind);
+    w.str(bristol);
+    return w.take();
+}
+
+bool
+isNetlistUploadFrame(const std::vector<uint8_t> &frame)
+{
+    return !frame.empty() && frame[0] == kNetlistUploadFrameKind;
+}
+
+std::string
+parseNetlistUploadFrame(const std::vector<uint8_t> &frame)
+{
+    if (!isNetlistUploadFrame(frame))
+        throw NetError("netlist-upload frame: wrong frame kind");
+    WireReader r(frame);
+    (void)r.u8();
+    std::string text = r.str();
+    r.expectEnd("netlist-upload");
+    return text;
+}
+
 } // namespace haac

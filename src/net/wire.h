@@ -133,6 +133,36 @@ struct LinkTableFrame
 LinkTableFrame parseLinkTableFrame(const std::vector<uint8_t> &frame);
 /// @}
 
+/**
+ * @name Netlist-upload frame (net/server.h)
+ *
+ * ROADMAP arc 1: a client ships the server a circuit it has never
+ * seen, as old-format Bristol text, in place of a workload-spec
+ * frame. The kind byte is 0x02 (STX) — deliberately unprintable, so
+ * it can never collide with the first character of a spec string
+ * ("Million:32", "ChainMillSum:8", ...) sharing the request channel.
+ *
+ * The payload is untrusted by definition. The transport already
+ * bounds it (kMaxFrameBytes); GcServer additionally pre-scans the
+ * declared gate count against ServerOptions::maxGates and then admits
+ * the parsed netlist only if the circuit analyzer
+ * (circuit/analyze.h) finds no errors — all before the first label
+ * or key expansion is spent on it.
+ *
+ * Layout: u8 kind, then str (u64 length + Bristol text).
+ */
+/// @{
+inline constexpr uint8_t kNetlistUploadFrameKind = 0x02; // STX
+
+std::vector<uint8_t> makeNetlistUploadFrame(const std::string &bristol);
+
+/** Cheap routing test: non-empty and leading kind byte. */
+bool isNetlistUploadFrame(const std::vector<uint8_t> &frame);
+
+/** Extract the Bristol text. @throws NetError on any mismatch. */
+std::string parseNetlistUploadFrame(const std::vector<uint8_t> &frame);
+/// @}
+
 } // namespace haac
 
 #endif // HAAC_NET_WIRE_H

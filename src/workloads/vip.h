@@ -32,6 +32,16 @@ struct Workload
 
     /** One native execution of the same computation (timed by benches). */
     std::function<void()> plaintextKernel;
+
+    /**
+     * Circuit-lint warning codes (kebab-case, circuit/analyze.h) this
+     * workload accepts by design — the registry-level NOLINT. The
+     * haac_netlint CLI treats a waived finding as informational, so
+     * the --Werror fleet gate stays meaningful: a *new* kind of waste
+     * still fails CI, while e.g. ReLU's deliberate per-party lane
+     * split does not.
+     */
+    std::vector<std::string> lintWaivers;
 };
 
 /** Sort n signed @p width-bit words with bubble sort (deep, low ILP). */

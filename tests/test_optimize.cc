@@ -6,6 +6,7 @@
  */
 #include <gtest/gtest.h>
 
+#include "circuit/analyze.h"
 #include "circuit/builder.h"
 #include "circuit/optimize.h"
 #include "circuit/stdlib.h"
@@ -140,6 +141,18 @@ TEST(Optimize, RandomCircuitsPreserveSemantics)
         Netlist opt = optimizeNetlist(nl, &stats);
         EXPECT_EQ(opt.check(), "");
         EXPECT_LE(opt.numGates(), nl.numGates());
+
+        // The analyzer referees the optimizer: its dead-gate and
+        // duplicate criteria are the passes' own, so the fixpoint
+        // must carry neither (constant cones may remain — the
+        // optimizer deliberately does not constant-fold).
+        const CircuitLintReport rep = analyzeNetlist(opt);
+        EXPECT_TRUE(rep.clean()) << "seed " << seed << ": "
+                                 << rep.firstError();
+        EXPECT_FALSE(rep.has(CircuitLintCode::DeadGate))
+            << "seed " << seed;
+        EXPECT_FALSE(rep.has(CircuitLintCode::DuplicateGate))
+            << "seed " << seed;
         for (int trial = 0; trial < 8; ++trial) {
             std::vector<bool> ga(6), eb(6);
             for (int i = 0; i < 6; ++i) {
@@ -147,6 +160,57 @@ TEST(Optimize, RandomCircuitsPreserveSemantics)
                 eb[size_t(i)] = prg.nextBit();
             }
             EXPECT_EQ(opt.evaluate(ga, eb), nl.evaluate(ga, eb))
+                << "seed " << seed;
+        }
+    }
+}
+
+TEST(Optimize, EachPassOutputIsAnalyzerClean)
+{
+    // Every individual pass must hand downstream a structurally valid
+    // netlist, and each pass must fully discharge its own lint: no
+    // dead gate survives eliminateDeadGates, no structural duplicate
+    // survives mergeDuplicateGates.
+    for (uint64_t seed = 21; seed <= 24; ++seed) {
+        Prg prg(seed * 777);
+        CircuitBuilder cb(/*fold_constants=*/false);
+        Bits pool;
+        for (Wire w : cb.garblerInputs(5))
+            pool.push_back(w);
+        for (Wire w : cb.evaluatorInputs(5))
+            pool.push_back(w);
+        for (int i = 0; i < 200; ++i) {
+            Wire a = pool[prg.nextRange(pool.size())];
+            Wire b = pool[prg.nextRange(pool.size())];
+            pool.push_back(prg.nextBit() ? cb.andGate(a, b)
+                                         : cb.xorGate(a, b));
+        }
+        for (int i = 0; i < 3; ++i)
+            cb.addOutput(pool[pool.size() - 1 - size_t(i)]);
+        const Netlist nl = cb.build();
+
+        const Netlist dead = eliminateDeadGates(nl);
+        EXPECT_TRUE(analyzeNetlist(dead).clean()) << "seed " << seed;
+        EXPECT_FALSE(
+            analyzeNetlist(dead).has(CircuitLintCode::DeadGate))
+            << "seed " << seed;
+
+        const Netlist merged = mergeDuplicateGates(nl);
+        EXPECT_TRUE(analyzeNetlist(merged).clean()) << "seed " << seed;
+        EXPECT_FALSE(
+            analyzeNetlist(merged).has(CircuitLintCode::DuplicateGate))
+            << "seed " << seed;
+
+        // Each single pass still preserves semantics.
+        for (int trial = 0; trial < 4; ++trial) {
+            std::vector<bool> ga(5), eb(5);
+            for (int i = 0; i < 5; ++i) {
+                ga[size_t(i)] = prg.nextBit();
+                eb[size_t(i)] = prg.nextBit();
+            }
+            const std::vector<bool> want = nl.evaluate(ga, eb);
+            EXPECT_EQ(dead.evaluate(ga, eb), want) << "seed " << seed;
+            EXPECT_EQ(merged.evaluate(ga, eb), want)
                 << "seed " << seed;
         }
     }

@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "circuit/bristol.h"
 #include "net/loopback.h"
 #include "net/server.h"
 #include "workloads/priorwork.h"
@@ -279,4 +280,188 @@ TEST(GcServer, ServeTcpAcceptLoop)
 
     EXPECT_EQ(server.totals().sessionsServed, 2u);
     EXPECT_EQ(countLines(reports.str()), 2u);
+}
+
+// ---------------------------------------------------------------------
+// Netlist uploads: the analyzer as admission gate
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** (g0 AND e0) XOR g0, inverted — 3 gates, both parties involved. */
+const char *kCleanBristol = "3 5\n"
+                            "1 1 1\n"
+                            "\n"
+                            "2 1 0 1 2 AND\n"
+                            "2 1 0 2 3 XOR\n"
+                            "1 1 3 4 INV\n";
+
+} // namespace
+
+TEST(GcServer, ServesUploadedNetlist)
+{
+    std::ostringstream reports;
+    ServerOptions opts;
+    opts.threads = 1;
+    opts.reports = &reports;
+    GcServer server(opts);
+
+    auto [client_end, server_end] = LoopbackTransport::createPair();
+    server.submit(std::move(server_end));
+
+    // Uploads skip the spec frame: handshake, then the upload request.
+    client_end->handshake(PeerRole::Garbler);
+    clientUploadRequest(*client_end, kCleanBristol);
+
+    const Netlist nl = readBristolString(kCleanBristol);
+    const std::vector<bool> garbler_bits{true};
+    const RemoteResult res =
+        runRemoteGarbler(nl, garbler_bits, *client_end, 31);
+    client_end.reset();
+    server.drain();
+
+    // The server evaluated with all-zero inputs (it has no stake in a
+    // circuit it has never seen).
+    EXPECT_EQ(res.outputs, nl.evaluate(garbler_bits, {false}));
+
+    const GcServer::Totals totals = server.totals();
+    EXPECT_EQ(totals.sessionsServed, 1u);
+    EXPECT_EQ(totals.uploadSessions, 1u);
+    EXPECT_EQ(totals.uploadsRefused, 0u);
+    EXPECT_EQ(totals.sessionsFailed, 0u);
+    EXPECT_EQ(totals.gates, nl.numGates());
+    EXPECT_NE(reports.str().find("\"workload\":\"uploaded-netlist\""),
+              std::string::npos);
+}
+
+TEST(GcServer, RefusesCyclicUploadBeforeGarbling)
+{
+    ServerOptions opts;
+    opts.threads = 1;
+    GcServer server(opts);
+
+    // Gate 0 reads file wire 3, which is only defined by gate 1: the
+    // textual form of a combinational cycle. Refused at parse.
+    const std::string cyclic = "3 5\n"
+                               "1 1 1\n"
+                               "\n"
+                               "2 1 0 3 2 XOR\n"
+                               "2 1 0 1 3 XOR\n"
+                               "1 1 2 4 INV\n";
+
+    auto [client_end, server_end] = LoopbackTransport::createPair();
+    server.submit(std::move(server_end));
+    client_end->handshake(PeerRole::Garbler);
+    try {
+        clientUploadRequest(*client_end, cyclic);
+        FAIL() << "expected refusal";
+    } catch (const NetError &e) {
+        EXPECT_NE(std::string(e.what()).find("undefined wire"),
+                  std::string::npos);
+    }
+    client_end.reset();
+    server.drain();
+
+    // Refused before any garbling work: no gates, no session served.
+    const GcServer::Totals totals = server.totals();
+    EXPECT_EQ(totals.uploadsRefused, 1u);
+    EXPECT_EQ(totals.sessionsFailed, 1u);
+    EXPECT_EQ(totals.sessionsServed, 0u);
+    EXPECT_EQ(totals.uploadSessions, 0u);
+    EXPECT_EQ(totals.gates, 0u);
+}
+
+TEST(GcServer, RefusesMultiplyDrivenUploadViaAnalyzer)
+{
+    ServerOptions opts;
+    opts.threads = 1;
+    GcServer server(opts);
+
+    // Parses fine (last definition wins), so only the analyzer's
+    // multiply-driven diagnostic stands between this and the garbler.
+    const std::string rebind = "3 5\n"
+                               "1 1 1\n"
+                               "\n"
+                               "2 1 0 1 3 XOR\n"
+                               "2 1 1 0 3 XOR\n"
+                               "1 1 3 4 INV\n";
+
+    auto [client_end, server_end] = LoopbackTransport::createPair();
+    server.submit(std::move(server_end));
+    client_end->handshake(PeerRole::Garbler);
+    try {
+        clientUploadRequest(*client_end, rebind);
+        FAIL() << "expected refusal";
+    } catch (const NetError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("circuit analyzer"), std::string::npos);
+        EXPECT_NE(what.find("driven again"), std::string::npos);
+    }
+    client_end.reset();
+    server.drain();
+
+    const GcServer::Totals totals = server.totals();
+    EXPECT_EQ(totals.uploadsRefused, 1u);
+    EXPECT_EQ(totals.gates, 0u);
+}
+
+TEST(GcServer, RefusesOversizedUploadBeforeParsing)
+{
+    ServerOptions opts;
+    opts.threads = 1;
+    opts.maxGates = 2; // the clean upload declares 3
+    GcServer server(opts);
+
+    auto [client_end, server_end] = LoopbackTransport::createPair();
+    server.submit(std::move(server_end));
+    client_end->handshake(PeerRole::Garbler);
+    try {
+        clientUploadRequest(*client_end, kCleanBristol);
+        FAIL() << "expected refusal";
+    } catch (const NetError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("declares 3 gates"), std::string::npos);
+        EXPECT_NE(what.find("at most 2"), std::string::npos);
+    }
+    client_end.reset();
+    server.drain();
+
+    const GcServer::Totals totals = server.totals();
+    EXPECT_EQ(totals.uploadsRefused, 1u);
+    EXPECT_EQ(totals.gates, 0u);
+}
+
+TEST(GcServer, UploadAndSpecSessionsShareAConnection)
+{
+    ServerOptions opts;
+    opts.threads = 1;
+    GcServer server(opts);
+
+    const Workload wl = resolveWorkload("Million:8");
+    auto [client_end, server_end] = LoopbackTransport::createPair();
+    server.submit(std::move(server_end));
+
+    client_end->handshake(PeerRole::Garbler);
+
+    // Session 1: a registry spec.
+    clientRequest(*client_end, "Million:8");
+    const RemoteResult spec_res = runRemoteGarbler(
+        wl.netlist, wl.garblerBits, *client_end, 61);
+    EXPECT_EQ(spec_res.outputs,
+              wl.netlist.evaluate(wl.garblerBits, wl.evaluatorBits));
+
+    // Session 2, same connection: an uploaded circuit.
+    clientUploadRequest(*client_end, kCleanBristol);
+    const Netlist nl = readBristolString(kCleanBristol);
+    const RemoteResult up_res =
+        runRemoteGarbler(nl, {true}, *client_end, 62);
+    EXPECT_EQ(up_res.outputs, nl.evaluate({true}, {false}));
+
+    client_end.reset();
+    server.drain();
+
+    const GcServer::Totals totals = server.totals();
+    EXPECT_EQ(totals.sessionsServed, 2u);
+    EXPECT_EQ(totals.uploadSessions, 1u);
+    EXPECT_EQ(totals.connectionsServed, 1u);
 }

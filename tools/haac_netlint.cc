@@ -1,0 +1,357 @@
+/**
+ * @file
+ * haac_netlint: the whole-circuit static analyzer (circuit/analyze.h)
+ * as a CLI, for CI and for anyone feeding the stack a netlist.
+ *
+ * Lints Bristol files, the VIP workload fleet, and the chained
+ * workloads, printing structured diagnostics ("adder.txt:
+ * error[use-before-def]: ... (gate #12)") plus a per-target cost line
+ * (gates, ANDs, multiplicative depth, free-XOR share). Exits nonzero
+ * iff any error-level finding was reported (or any warning, under
+ * --Werror) — the contract the CI step relies on.
+ *
+ * Workloads and chains are analyzed post-optimizeNetlist by default:
+ * that is what the stack actually garbles, and it is the analyzer-
+ * clean form the optimizer-referee tests pin. --raw analyzes the
+ * frontend output instead (expect DeadGate findings — the VIP adders
+ * deliberately synthesize a dead carry tail). Bristol files are
+ * always analyzed exactly as written; linting the file is the point.
+ */
+#include <cstdint>
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chain/workloads.h"
+#include "circuit/analyze.h"
+#include "circuit/bristol.h"
+#include "circuit/optimize.h"
+#include "workloads/vip.h"
+
+namespace {
+
+using namespace haac;
+
+void
+usage(std::ostream &os)
+{
+    os << "haac_netlint: static analyzer for netlists and chain "
+          "plans\n"
+          "\n"
+          "usage: haac_netlint [options] [FILE.txt ...]\n"
+          "\n"
+          "targets:\n"
+          "  FILE.txt ...         lint old-format Bristol files\n"
+          "  --workload NAME      lint a VIP workload's netlist\n"
+          "  --all-workloads      lint every VIP workload\n"
+          "  --chain SPEC         lint a chained workload's plan\n"
+          "                       (e.g. ChainMillSum:8)\n"
+          "  --chains             lint the chained fleet at widths "
+          "8 and 16\n"
+          "  --list               list workload names and exit\n"
+          "\n"
+          "checks:\n"
+          "  --raw                analyze workload netlists before\n"
+          "                       optimizeNetlist (default: after)\n"
+          "\n"
+          "reporting:\n"
+          "  --json FILE          also write diagnostics as JSON\n"
+          "                       (\"-\" = stdout)\n"
+          "  --no-warnings        errors only\n"
+          "  --Werror             exit nonzero on warnings too\n"
+          "  -q, --quiet          summaries only, no diagnostics\n"
+          "  --help               this text\n";
+}
+
+struct Options
+{
+    std::vector<std::string> files;
+    std::vector<std::string> workloads;
+    std::vector<std::string> chains;
+    bool raw = false;
+    bool warnings = true;
+    bool werror = false;
+    bool quiet = false;
+    std::string jsonPath;
+};
+
+struct Totals
+{
+    uint32_t targets = 0;
+    uint32_t errors = 0;
+    uint32_t warnings = 0;
+};
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+/** One target's JSON object, appended to the --json array. */
+std::string
+jsonTarget(const std::string &name, const CircuitLintReport &rep)
+{
+    std::ostringstream os;
+    os << "{\"target\":\"" << jsonEscape(name) << "\",\"errors\":"
+       << rep.errors << ",\"warnings\":" << rep.warnings
+       << ",\"cost\":{\"gates\":" << rep.cost.gates
+       << ",\"andGates\":" << rep.cost.andGates
+       << ",\"xorGates\":" << rep.cost.xorGates
+       << ",\"multDepth\":" << rep.cost.multDepth
+       << ",\"freeXorPercent\":" << rep.cost.freeXorPercent
+       << "},\"diags\":[";
+    for (size_t i = 0; i < rep.diags.size(); ++i) {
+        const CircuitDiag &d = rep.diags[i];
+        os << (i > 0 ? "," : "") << "{\"code\":\""
+           << circuitLintCodeName(d.code) << "\",\"severity\":\""
+           << circuitSeverityName(d.severity) << "\",";
+        if (d.site != kNoCircuitSite)
+            os << "\"site\":" << d.site << ",";
+        if (d.wire != kNoWire)
+            os << "\"wire\":" << d.wire << ",";
+        os << "\"message\":\"" << jsonEscape(d.message) << "\"}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+/**
+ * Drop warnings whose code a workload waives by design (the registry
+ * NOLINT, Workload::lintWaivers). Errors are never waivable. Returns
+ * how many findings were dropped, for the summary line.
+ */
+uint32_t
+applyWaivers(CircuitLintReport &rep,
+             const std::vector<std::string> &waivers)
+{
+    if (waivers.empty() || rep.diags.empty())
+        return 0;
+    CircuitLintReport kept;
+    kept.cost = rep.cost;
+    uint32_t waived = 0;
+    for (CircuitDiag &d : rep.diags) {
+        const bool waive =
+            d.severity != CircuitSeverity::Error &&
+            std::find(waivers.begin(), waivers.end(),
+                      circuitLintCodeName(d.code)) != waivers.end();
+        if (waive) {
+            ++waived;
+            continue;
+        }
+        switch (d.severity) {
+        case CircuitSeverity::Error:
+            ++kept.errors;
+            break;
+        case CircuitSeverity::Warning:
+            ++kept.warnings;
+            break;
+        case CircuitSeverity::Note:
+            ++kept.notes;
+            break;
+        }
+        kept.diags.push_back(std::move(d));
+    }
+    rep = std::move(kept);
+    return waived;
+}
+
+void
+report(const std::string &name, const CircuitLintReport &rep,
+       const Options &opt, Totals &tot, std::vector<std::string> &json,
+       uint32_t waived = 0)
+{
+    ++tot.targets;
+    tot.errors += rep.errors;
+    tot.warnings += rep.warnings;
+    if (!opt.jsonPath.empty())
+        json.push_back(jsonTarget(name, rep));
+    if (!opt.quiet)
+        for (const CircuitDiag &d : rep.diags)
+            std::cout << formatCircuitDiag(d, name) << "\n";
+    std::cout << name << ": " << rep.summary();
+    if (waived > 0)
+        std::cout << " (" << waived << " waived by the workload)";
+    if (rep.clean() && rep.cost.gates > 0) {
+        std::ostringstream cost;
+        cost.precision(1);
+        cost << std::fixed << rep.cost.freeXorPercent;
+        std::cout << " (" << rep.cost.gates << " gates, "
+                  << rep.cost.andGates << " AND, depth "
+                  << rep.cost.multDepth << ", " << cost.str()
+                  << "% free-XOR)";
+    }
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+
+    auto need = [&](int &i, const char *flag) -> const char * {
+        if (i + 1 >= argc) {
+            std::cerr << "haac_netlint: " << flag
+                      << " needs an argument\n";
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--help" || a == "-h") {
+            usage(std::cout);
+            return 0;
+        } else if (a == "--list") {
+            for (const std::string &n : vipNames())
+                std::cout << n << "\n";
+            for (const std::string &s : chain::chainWorkloadSpecs(8))
+                std::cout << s << "\n";
+            return 0;
+        } else if (a == "--workload") {
+            opt.workloads.push_back(need(i, "--workload"));
+        } else if (a == "--all-workloads") {
+            for (const std::string &n : vipNames())
+                opt.workloads.push_back(n);
+        } else if (a == "--chain") {
+            opt.chains.push_back(need(i, "--chain"));
+        } else if (a == "--chains") {
+            for (const uint32_t w : {8u, 16u})
+                for (const std::string &s :
+                     chain::chainWorkloadSpecs(w))
+                    opt.chains.push_back(s);
+        } else if (a == "--raw") {
+            opt.raw = true;
+        } else if (a == "--json") {
+            opt.jsonPath = need(i, "--json");
+        } else if (a == "--no-warnings") {
+            opt.warnings = false;
+        } else if (a == "--Werror") {
+            opt.werror = true;
+        } else if (a == "-q" || a == "--quiet") {
+            opt.quiet = true;
+        } else if (!a.empty() && a[0] == '-') {
+            std::cerr << "haac_netlint: unknown option '" << a
+                      << "' (try --help)\n";
+            return 2;
+        } else {
+            opt.files.push_back(a);
+        }
+    }
+
+    if (opt.files.empty() && opt.workloads.empty() &&
+        opt.chains.empty()) {
+        std::cerr << "haac_netlint: nothing to lint: pass Bristol "
+                     "files, --workload NAME, --all-workloads, "
+                     "--chain SPEC, or --chains\n";
+        return 2;
+    }
+
+    CircuitLintOptions lopts;
+    lopts.warnings = opt.warnings;
+
+    Totals tot;
+    bool parseFailed = false;
+    std::vector<std::string> json;
+
+    for (const std::string &path : opt.files) {
+        CircuitLintReport rep;
+        try {
+            // The lint-attaching parse: analyzer findings plus
+            // parse-level MultiplyDriven diagnostics, no policy.
+            (void)readBristolFile(path, &rep);
+        } catch (const std::exception &ex) {
+            std::cout << path << ": parse error: " << ex.what()
+                      << "\n";
+            parseFailed = true;
+            continue;
+        }
+        if (!opt.warnings) {
+            // The attach overload always runs deep; honor the flag.
+            CircuitLintReport errs;
+            errs.cost = rep.cost;
+            for (const CircuitDiag &d : rep.diags)
+                if (d.severity == CircuitSeverity::Error) {
+                    errs.diags.push_back(d);
+                    ++errs.errors;
+                }
+            rep = std::move(errs);
+        }
+        report(path, rep, opt, tot, json);
+    }
+
+    for (const std::string &name : opt.workloads) {
+        Workload w;
+        try {
+            w = vipWorkload(name, /*paper_scale=*/false);
+        } catch (const std::exception &ex) {
+            std::cerr << "haac_netlint: " << ex.what()
+                      << " (try --list)\n";
+            return 2;
+        }
+        const Netlist nl =
+            opt.raw ? w.netlist : optimizeNetlist(w.netlist);
+        CircuitLintReport rep = analyzeNetlist(nl, lopts);
+        const uint32_t waived = applyWaivers(rep, w.lintWaivers);
+        report("workload:" + name, rep, opt, tot, json, waived);
+    }
+
+    for (const std::string &spec : opt.chains) {
+        chain::ChainWorkload w;
+        try {
+            w = chain::resolveChainWorkload(spec);
+        } catch (const std::exception &ex) {
+            std::cerr << "haac_netlint: " << ex.what() << "\n";
+            return 2;
+        }
+        report("chain:" + spec, analyzeChainPlan(w.plan, lopts), opt,
+               tot, json);
+    }
+
+    if (!opt.jsonPath.empty()) {
+        std::ostringstream doc;
+        doc << "{\"targets\":[";
+        for (size_t i = 0; i < json.size(); ++i)
+            doc << (i > 0 ? "," : "") << json[i];
+        doc << "],\"errors\":" << tot.errors
+            << ",\"warnings\":" << tot.warnings << "}\n";
+        if (opt.jsonPath == "-") {
+            std::cout << doc.str();
+        } else {
+            std::ofstream f(opt.jsonPath);
+            if (!f) {
+                std::cerr << "haac_netlint: cannot open "
+                          << opt.jsonPath << "\n";
+                return 2;
+            }
+            f << doc.str();
+        }
+    }
+
+    const bool bad = parseFailed || tot.errors > 0 ||
+                     (opt.werror && tot.warnings > 0);
+    std::cout << "haac_netlint: " << tot.targets << " target"
+              << (tot.targets == 1 ? "" : "s") << ", " << tot.errors
+              << " error" << (tot.errors == 1 ? "" : "s") << ", "
+              << tot.warnings << " warning"
+              << (tot.warnings == 1 ? "" : "s")
+              << (bad ? " — FAIL" : " — ok") << "\n";
+    return bad ? 1 : 0;
+}

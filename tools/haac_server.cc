@@ -78,6 +78,8 @@ usage(const char *argv0)
         "and fill their queues before\n"
         "                   accepting (e.g. ChainProdCmp:32; repeat "
         "for more; needs --component-pool)\n"
+        "  --max-gates N    admission cap for uploaded netlists "
+        "(default 4194304)\n"
         "  --no-ot-cache    run the base-OT phase every session "
         "instead of once per connection\n"
         "  --report-file F  append per-session RunReport JSON lines "
@@ -154,6 +156,9 @@ main(int argc, char **argv)
                 size_t(std::strtoull(value(), nullptr, 10));
         else if (arg == "--chain-prewarm")
             chain_prewarm.push_back(value());
+        else if (arg == "--max-gates")
+            opts.maxGates =
+                uint32_t(std::strtoul(value(), nullptr, 10));
         else if (arg == "--no-ot-cache")
             opts.cacheBaseOt = false;
         else if (arg == "--report-file")
