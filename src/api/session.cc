@@ -1,6 +1,5 @@
 #include "api/session.h"
 
-#include <cassert>
 #include <stdexcept>
 #include <utility>
 
@@ -160,7 +159,10 @@ Session::compile() const
         lint.warnings = false;
         lint.deep = false;
         const CircuitLintReport rep = analyzeNetlist(netlist_, lint);
-        assert(rep.clean() && "session holds an ill-formed netlist");
+        // No assert here, unlike the mirrored check in passes.cc: that
+        // one guards compiler output, this one guards user-supplied
+        // netlists (e.g. readBristolFile), which must refuse by
+        // throwing, not abort, in every build mode.
         if (!rep.clean())
             throw std::logic_error(
                 "Session::compile: circuit analyzer rejected the "

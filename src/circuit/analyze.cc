@@ -311,8 +311,11 @@ analyzeNetlistDeep(const Netlist &nl, Accumulator &acc)
             w = alias[w];
         return w;
     };
-    std::unordered_map<uint64_t, WireId> seen;
-    seen.reserve(nl.numGates());
+    // One map per op: (min, max) then fills the 64-bit key exactly,
+    // so full 32-bit wire ids cannot collide.
+    std::unordered_map<uint64_t, WireId> seen[2];
+    seen[0].reserve(nl.numGates());
+    seen[1].reserve(nl.numGates());
 
     for (uint32_t g = 0; g < nl.numGates(); ++g) {
         const Gate &gate = nl.gates[g];
@@ -349,10 +352,9 @@ analyzeNetlistDeep(const Netlist &nl, Accumulator &acc)
 
         const WireId ra = resolve(gate.a);
         const WireId rb = resolve(gate.b);
-        const uint64_t key = (uint64_t(gate.op) << 62) |
-                             (uint64_t(std::min(ra, rb)) << 31) |
+        const uint64_t key = (uint64_t(std::min(ra, rb)) << 32) |
                              uint64_t(std::max(ra, rb));
-        auto [it, inserted] = seen.emplace(key, out);
+        auto [it, inserted] = seen[size_t(gate.op)].emplace(key, out);
         const bool dup = !inserted;
         if (dup)
             alias[out] = it->second;

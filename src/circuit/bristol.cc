@@ -1,5 +1,6 @@
 #include "circuit/bristol.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -42,13 +43,35 @@ readBristolImpl(std::istream &in, CircuitLintReport *lints)
     if (!(in >> ninp1 >> ninp2 >> nout))
         fail("missing input/output header");
 
+    // Header sanity, before a single allocation is sized off it. Each
+    // bound fails closed on a hostile header: canonical ids (inputs,
+    // const-one, one wire per gate) must fit WireId with kNoWire
+    // reserved, the input and output blocks must fit inside the
+    // declared wire count, and the wire count cannot exceed what the
+    // inputs plus single-output gates can define.
+    constexpr uint64_t kMaxWires = uint64_t(kNoWire); // ids 0..kNoWire-1
+    if (ngates >= kMaxWires || ninp1 >= kMaxWires ||
+        ninp2 >= kMaxWires - ninp1)
+        fail("header counts overflow the 32-bit wire-id space");
+    const uint64_t declared_inputs = ninp1 + ninp2;
+    if (declared_inputs + 1 + ngates > kMaxWires) // + const-one wire
+        fail("header counts overflow the 32-bit wire-id space");
+    if (nout > nwires || declared_inputs > nwires - nout)
+        fail("header declares more inputs and outputs than wires");
+    if (nwires > declared_inputs + ngates)
+        fail("header declares more wires than its inputs and gates "
+             "can define");
+
     struct RawGate
     {
         std::string op;
         uint64_t a = 0, b = 0, out = 0;
     };
     std::vector<RawGate> raw;
-    raw.reserve(ngates);
+    // The declared count is header-controlled; cap the up-front
+    // reservation so growth past it has to be backed by actual gate
+    // lines in the text.
+    raw.reserve(size_t(std::min<uint64_t>(ngates, 1u << 20)));
     bool any_inv = false;
     for (uint64_t g = 0; g < ngates; ++g) {
         uint64_t fanin = 0, fanout = 0;
@@ -75,7 +98,7 @@ readBristolImpl(std::istream &in, CircuitLintReport *lints)
     Netlist nl;
     nl.numGarblerInputs = uint32_t(ninp1);
     nl.numEvaluatorInputs = uint32_t(ninp2);
-    const uint64_t file_inputs = ninp1 + ninp2;
+    const uint64_t file_inputs = declared_inputs;
     // Always materialize the constant wire; keeps layout predictable
     // and matches what CircuitBuilder emits.
     nl.constOne = uint32_t(file_inputs);

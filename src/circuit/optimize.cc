@@ -88,9 +88,11 @@ mergeDuplicateGates(const Netlist &netlist, OptimizeStats *stats)
     std::vector<WireId> alias = identityAlias(netlist);
     std::vector<bool> keep(netlist.numGates(), true);
 
-    // Key: op | min(a,b) | max(a,b) after alias resolution.
-    std::unordered_map<uint64_t, WireId> seen;
-    seen.reserve(netlist.numGates());
+    // Key: min(a,b) | max(a,b) after alias resolution, one map per
+    // op — full 32-bit wire ids fill the key exactly, no collisions.
+    std::unordered_map<uint64_t, WireId> seen[2];
+    seen[0].reserve(netlist.numGates());
+    seen[1].reserve(netlist.numGates());
     auto resolve = [&alias](WireId w) {
         while (alias[w] != w)
             w = alias[w];
@@ -102,10 +104,10 @@ mergeDuplicateGates(const Netlist &netlist, OptimizeStats *stats)
         const Gate &gate = netlist.gates[g];
         const WireId a = resolve(gate.a);
         const WireId b = resolve(gate.b);
-        const uint64_t key = (uint64_t(gate.op) << 62) |
-                             (uint64_t(std::min(a, b)) << 31) |
+        const uint64_t key = (uint64_t(std::min(a, b)) << 32) |
                              uint64_t(std::max(a, b));
-        auto [it, inserted] = seen.emplace(key, inputs + g);
+        auto [it, inserted] =
+            seen[size_t(gate.op)].emplace(key, inputs + g);
         if (!inserted) {
             alias[inputs + g] = it->second;
             keep[g] = false;

@@ -39,19 +39,25 @@ splitSpec(const std::string &spec, std::string &name, uint32_t &arg)
 }
 
 /**
- * The declared gate count, straight off the Bristol header, without
- * parsing anything else. readBristol reserves storage for this many
- * gates up front, so a hostile header must be capped before the
- * parser ever sees the text.
+ * The declared gate and wire counts, straight off the Bristol header,
+ * without parsing anything else. readBristol sizes its gate storage
+ * and its wire map off these numbers, so a hostile header must be
+ * capped before the parser ever sees the text.
  */
-uint64_t
-bristolHeaderGates(const std::string &text)
+struct BristolHeader
+{
+    uint64_t gates = 0;
+    uint64_t wires = 0;
+};
+
+BristolHeader
+bristolHeaderPeek(const std::string &text)
 {
     std::istringstream ss(text);
-    uint64_t ngates = 0;
-    if (!(ss >> ngates))
+    BristolHeader h;
+    if (!(ss >> h.gates >> h.wires))
         throw NetError("uploaded netlist: missing Bristol header");
-    return ngates;
+    return h;
 }
 
 } // namespace
@@ -477,12 +483,23 @@ GcServer::serveUploadSession(Transport &transport, uint64_t session_id,
     Netlist nl;
     try {
         const std::string text = parseNetlistUploadFrame(frame);
-        const uint64_t declared = bristolHeaderGates(text);
-        if (declared > opts_.maxGates)
+        const BristolHeader hdr = bristolHeaderPeek(text);
+        if (hdr.gates > opts_.maxGates)
             throw NetError("uploaded netlist declares " +
-                           std::to_string(declared) +
+                           std::to_string(hdr.gates) +
                            " gates; this server admits at most " +
                            std::to_string(opts_.maxGates));
+        // Every wire of an admissible circuit is a primary input or
+        // one gate's output, and the parser refuses headers where
+        // that fails, so 2*maxGates (+1 output slack, e.g. an
+        // XOR-parity tree) bounds the wire count of everything worth
+        // parsing — and, with it, the parser's wire-map allocation.
+        const uint64_t max_wires = 2 * uint64_t(opts_.maxGates) + 1;
+        if (hdr.wires > max_wires)
+            throw NetError("uploaded netlist declares " +
+                           std::to_string(hdr.wires) +
+                           " wires; this server admits at most " +
+                           std::to_string(max_wires));
         CircuitLintReport lints;
         nl = readBristolString(text, &lints);
         if (!lints.clean())

@@ -160,7 +160,8 @@ struct ServerOptions
     bool cacheBaseOt = true;
     /**
      * Admission cap for uploaded netlists: the declared Bristol gate
-     * count is checked against this *before* the text is parsed (so a
+     * count is checked against this — and the declared wire count
+     * against 2*maxGates + 1 — *before* the text is parsed (so a
      * hostile header cannot even make the parser reserve memory), and
      * the canonicalized gate count is re-checked after. The transport
      * frame bound (kMaxFrameBytes) caps the text itself.

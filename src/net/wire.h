@@ -144,7 +144,8 @@ LinkTableFrame parseLinkTableFrame(const std::vector<uint8_t> &frame);
  *
  * The payload is untrusted by definition. The transport already
  * bounds it (kMaxFrameBytes); GcServer additionally pre-scans the
- * declared gate count against ServerOptions::maxGates and then admits
+ * declared gate and wire counts against ServerOptions::maxGates (the
+ * wire cap is 2*maxGates + 1) and then admits
  * the parsed netlist only if the circuit analyzer
  * (circuit/analyze.h) finds no errors — all before the first label
  * or key expansion is spent on it.

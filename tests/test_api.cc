@@ -199,6 +199,28 @@ TEST(SessionCompile, CompileOnlyMatchesDirectPasses)
     EXPECT_TRUE(compiled.program.check().empty());
 }
 
+TEST(SessionCompile, RefusesIllFormedNetlistByThrowing)
+{
+    // User-supplied (not compiler-generated) circuit: the analyzer
+    // refusal must surface as the documented logic_error in every
+    // build mode, never an assert/abort.
+    Netlist bad;
+    bad.numGarblerInputs = 1;
+    bad.numEvaluatorInputs = 1;
+    bad.gates.push_back({GateOp::And, 0, 77}); // reads undefined wire
+    bad.outputs.push_back(bad.outputWireOf(0));
+
+    CompileOptions copts;
+    copts.verify = true; // Release builds gate the check on this
+    try {
+        Session(std::move(bad)).withCompileOptions(copts).compile();
+        FAIL() << "expected refusal";
+    } catch (const std::logic_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("circuit analyzer"), std::string::npos);
+    }
+}
+
 TEST(BackendRegistry, BuiltinsRegisteredAndResolvable)
 {
     std::vector<std::string> names = backendNames();

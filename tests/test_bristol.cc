@@ -61,6 +61,34 @@ TEST(Bristol, RejectsMalformedInput)
                  std::runtime_error);
 }
 
+TEST(Bristol, RejectsHostileHeaders)
+{
+    // More inputs than wires: the input-mapping loop would write past
+    // the end of the wire map (heap corruption before any gate check).
+    EXPECT_THROW(readBristolString("1 1\n5 5 1\n\n2 1 0 1 0 AND\n"),
+                 std::runtime_error);
+    // Inputs + outputs cannot fit the declared wire count.
+    EXPECT_THROW(readBristolString("1 3\n2 1 1\n\n2 1 0 1 2 AND\n"),
+                 std::runtime_error);
+    // Wire inflation: nwires far beyond what inputs + gates can
+    // define must fail before the wire map is allocated.
+    EXPECT_THROW(readBristolString("1 2147483648\n1 1 1\n\n"
+                                   "2 1 0 1 2 AND\n"),
+                 std::runtime_error);
+    // Counts that overflow the 32-bit wire-id space.
+    EXPECT_THROW(
+        readBristolString("0 4294967295\n4294967295 0 0\n\n"),
+        std::runtime_error);
+    EXPECT_THROW(
+        readBristolString("1 18446744073709551615\n"
+                          "9223372036854775807 9223372036854775807 "
+                          "1\n\n2 1 0 1 2 AND\n"),
+        std::runtime_error);
+    // More outputs than wires (the tail-output loop would wrap).
+    EXPECT_THROW(readBristolString("1 3\n1 1 7\n\n2 1 0 1 2 AND\n"),
+                 std::runtime_error);
+}
+
 TEST(Bristol, WriteReadRoundTripPreservesSemantics)
 {
     CircuitBuilder cb;

@@ -431,6 +431,39 @@ TEST(GcServer, RefusesOversizedUploadBeforeParsing)
     EXPECT_EQ(totals.gates, 0u);
 }
 
+TEST(GcServer, RefusesWireInflatedUploadBeforeParsing)
+{
+    ServerOptions opts;
+    opts.threads = 1;
+    opts.maxGates = 2; // wire cap follows: 2 * 2 + 1 = 5
+    GcServer server(opts);
+
+    // Gate count passes the cap; the declared wire count alone must
+    // refuse the upload before the parser sizes its wire map off it.
+    const std::string inflated = "2 1000000000\n1 1 1\n\n"
+                                 "2 1 0 1 3 AND\n"
+                                 "2 1 0 3 4 XOR\n";
+
+    auto [client_end, server_end] = LoopbackTransport::createPair();
+    server.submit(std::move(server_end));
+    client_end->handshake(PeerRole::Garbler);
+    try {
+        clientUploadRequest(*client_end, inflated);
+        FAIL() << "expected refusal";
+    } catch (const NetError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("declares 1000000000 wires"),
+                  std::string::npos);
+        EXPECT_NE(what.find("at most 5"), std::string::npos);
+    }
+    client_end.reset();
+    server.drain();
+
+    const GcServer::Totals totals = server.totals();
+    EXPECT_EQ(totals.uploadsRefused, 1u);
+    EXPECT_EQ(totals.gates, 0u);
+}
+
 TEST(GcServer, UploadAndSpecSessionsShareAConnection)
 {
     ServerOptions opts;
